@@ -1,0 +1,206 @@
+// Package bench is the repository's benchmark harness: one testing.B
+// benchmark per table/figure of the paper's evaluation (each regenerates
+// the figure's rows through the experiment package and reports them via
+// b.Log at -v), plus micro-benchmarks of the hot substrate paths (tensor
+// kernels, local training, update transforms, wire codec, RLHF agent,
+// device cost model).
+//
+// Figure benches run at a reduced scale so `go test -bench=.` completes in
+// minutes; use `go run ./cmd/floatbench -scale paper` for the full-size
+// reproduction.
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"floatfl/internal/data"
+	"floatfl/internal/device"
+	"floatfl/internal/experiment"
+	"floatfl/internal/nn"
+	"floatfl/internal/opt"
+	"floatfl/internal/rl"
+	"floatfl/internal/tensor"
+	"floatfl/internal/trace"
+)
+
+// benchScale keeps every figure bench under a few seconds while preserving
+// the paper's shapes.
+var benchScale = experiment.Scale{
+	Clients: 24, Rounds: 8, PerRound: 6, Epochs: 1, BatchSz: 8,
+	Seed: 99, AsyncConcurrency: 10, AsyncBuffer: 4,
+}
+
+// figureBench runs one named figure once per benchmark iteration.
+func figureBench(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tables, err := experiment.ByName(name, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && testing.Verbose() {
+			for _, t := range tables {
+				b.Logf("\n%s: %d rows", t.Title, len(t.Rows))
+			}
+		}
+	}
+}
+
+func BenchmarkFig02Bias(b *testing.B)      { figureBench(b, "2") }
+func BenchmarkFig03Dropouts(b *testing.B)  { figureBench(b, "3") }
+func BenchmarkFig04Traces(b *testing.B)    { figureBench(b, "4") }
+func BenchmarkFig05Static(b *testing.B)    { figureBench(b, "5") }
+func BenchmarkFig06Heuristic(b *testing.B) { figureBench(b, "6") }
+func BenchmarkFig08Overhead(b *testing.B)  { figureBench(b, "8") }
+func BenchmarkFig09Transfer(b *testing.B)  { figureBench(b, "9") }
+func BenchmarkFig10QTables(b *testing.B)   { figureBench(b, "10") }
+func BenchmarkFig11Ablation(b *testing.B)  { figureBench(b, "11") }
+func BenchmarkFig12EndToEnd(b *testing.B)  { figureBench(b, "12") }
+func BenchmarkFig13OpenImage(b *testing.B) { figureBench(b, "13") }
+
+// Ablation benches for the design choices DESIGN.md calls out.
+func BenchmarkAblationReward(b *testing.B)        { figureBench(b, "ablation-reward") }
+func BenchmarkAblationExploration(b *testing.B)   { figureBench(b, "ablation-explore") }
+func BenchmarkAblationLearningRate(b *testing.B)  { figureBench(b, "ablation-lr") }
+func BenchmarkAblationFeedbackCache(b *testing.B) { figureBench(b, "ablation-cache") }
+func BenchmarkAblationBins(b *testing.B)          { figureBench(b, "ablation-bins") }
+func BenchmarkAblationPerClient(b *testing.B)     { figureBench(b, "ablation-perclient") }
+func BenchmarkAblationActionSpace(b *testing.B)   { figureBench(b, "ablation-actions") }
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkTensorMatVec(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := tensor.NewMatrix(64, 64)
+	tensor.RandnInto(m.Data, 1, rng)
+	x, dst := tensor.NewVector(64), tensor.NewVector(64)
+	tensor.RandnInto(x, 1, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MatVec(dst, x)
+	}
+}
+
+func BenchmarkTensorSoftmax(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	src, dst := tensor.NewVector(64), tensor.NewVector(64)
+	tensor.RandnInto(src, 1, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Softmax(dst, src)
+	}
+}
+
+func BenchmarkNNLocalTraining(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	fed, err := data.Generate("femnist", data.GenerateConfig{Clients: 1, Alpha: 0.1, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := nn.NewModel("resnet34", fed.Profile.Dim, fed.Profile.Classes, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := nn.TrainConfig{Epochs: 1, BatchSize: 16, LR: 0.1, GradClip: 5, Seed: 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Train(fed.Train[0], cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptQuantize8(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	v := tensor.NewVector(8192)
+	tensor.RandnInto(v, 1, rng)
+	b.SetBytes(int64(len(v) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := v.Clone()
+		opt.Quantize(w, 8, rng)
+	}
+}
+
+func BenchmarkOptPrune50(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	v := tensor.NewVector(8192)
+	tensor.RandnInto(v, 1, rng)
+	b.SetBytes(int64(len(v) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := v.Clone()
+		opt.PruneSmallest(w, 0.5)
+	}
+}
+
+func BenchmarkOptCodecRoundTrip(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	v := tensor.NewVector(8192)
+	tensor.RandnInto(v, 1, rng)
+	opt.PruneSmallest(v, 0.5)
+	b.SetBytes(int64(len(v) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob, err := opt.CompressUpdate(v, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := opt.DecompressUpdate(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRLUpdate measures the per-round RLHF training overhead the
+// paper bounds at "less than one millisecond" (Fig 8's companion claim).
+func BenchmarkRLUpdate(b *testing.B) {
+	a := rl.NewAgent(rl.Config{Seed: 8})
+	s := rl.State{GB: 1, GE: 1, GK: 1, CPU: 2, Mem: 3, Net: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		act := a.SelectAction(s)
+		if err := a.Update(i%300, s, act, i%2 == 0, 0.1, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRLSelectAction(b *testing.B) {
+	a := rl.NewAgent(rl.Config{Seed: 9})
+	states := make([]rl.State, 125)
+	for i := range states {
+		states[i] = rl.State{CPU: i % 5, Mem: (i / 5) % 5, Net: (i / 25) % 5}
+		act := a.SelectAction(states[i])
+		if err := a.Update(0, states[i], act, true, 0.1, states[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.SelectAction(states[i%len(states)])
+	}
+}
+
+func BenchmarkDeviceExecute(b *testing.B) {
+	pop, err := device.NewPopulation(device.PopulationConfig{
+		Clients: 32, Scenario: trace.ScenarioDynamic, Seed: 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := device.WorkSpec{RefFLOPsPerSample: 22e9, RefParams: 21_800_000, Samples: 60, Epochs: 5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := device.Execute(pop[i%len(pop)], i%64, w, opt.TechQuant8, 600); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Command floatbench regenerates the paper's evaluation figures as text
+// tables. Each figure of FLOAT's evaluation (and each design ablation) is
+// a named experiment; run them all or cherry-pick.
+//
+// Usage:
+//
+//	floatbench -fig all                 # every figure at quick scale
+//	floatbench -fig 12 -scale paper     # the end-to-end grid at paper scale
+//	floatbench -fig 2,3,6
+//	floatbench -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"floatfl/internal/experiment"
+)
+
+func main() {
+	var (
+		figs    = flag.String("fig", "all", "comma-separated figure names, or 'all'")
+		format  = flag.String("format", "text", "output format: text | json")
+		scale   = flag.String("scale", "quick", "experiment scale: quick | paper")
+		list    = flag.Bool("list", false, "list available figures and exit")
+		clients = flag.Int("clients", 0, "override client count")
+		rounds  = flag.Int("rounds", 0, "override round count")
+		seed    = flag.Int64("seed", 0, "override RNG seed")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available figures:")
+		for _, name := range experiment.FigureNames() {
+			fmt.Printf("  %s\n", name)
+		}
+		return
+	}
+
+	sc, err := pickScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	if *clients > 0 {
+		sc.Clients = *clients
+	}
+	if *rounds > 0 {
+		sc.Rounds = *rounds
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	names := experiment.FigureNames()
+	if *figs != "all" {
+		names = strings.Split(*figs, ",")
+	}
+	jsonOut := map[string][]experiment.Table{}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		start := time.Now()
+		tables, err := experiment.ByName(name, sc)
+		if err != nil {
+			fatal(err)
+		}
+		if *format == "json" {
+			jsonOut[name] = tables
+			continue
+		}
+		for i := range tables {
+			tables[i].Fprint(os.Stdout)
+		}
+		fmt.Printf("[fig %s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	if *format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonOut); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func pickScale(name string) (experiment.Scale, error) {
+	switch name {
+	case "quick":
+		return experiment.Quick, nil
+	case "paper":
+		return experiment.Paper, nil
+	default:
+		return experiment.Scale{}, fmt.Errorf("unknown scale %q (quick | paper)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "floatbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Command floatd runs the distributed FL aggregator: an HTTP server that
+// registers clients, hands out the global model with a FLOAT-assigned
+// acceleration technique per client, and aggregates codec-compressed
+// updates. Pair it with the client runtime in internal/dist (see
+// examples/distributed for a complete localhost deployment).
+//
+// Usage:
+//
+//	floatd -addr :8080 -dataset femnist -controller float -k 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"floatfl/internal/core"
+	"floatfl/internal/data"
+	"floatfl/internal/dist"
+	"floatfl/internal/fl"
+	"floatfl/internal/rl"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		dataset    = flag.String("dataset", "femnist", "dataset profile (shapes the model and holdout)")
+		arch       = flag.String("arch", "resnet18", "model architecture")
+		controller = flag.String("controller", "float", "float | heuristic | none")
+		k          = flag.Int("k", 8, "updates per aggregation")
+		epochs     = flag.Int("epochs", 2, "local epochs")
+		batch      = flag.Int("batch", 16, "local batch size")
+		lr         = flag.Float64("lr", 0.1, "local learning rate")
+		seed       = flag.Int64("seed", 42, "RNG seed")
+	)
+	flag.Parse()
+
+	profile, err := data.LookupProfile(*dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A small server-side holdout tracks convergence (synthetic here; a
+	// real deployment would plug in its own evaluation stream).
+	fed, err := data.Generate(*dataset, data.GenerateConfig{Clients: 1, Alpha: 100, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var ctrl fl.Controller = fl.NoOpController{}
+	switch *controller {
+	case "float":
+		ctrl = core.New(core.Config{
+			Agent:           rl.Config{Seed: *seed, TotalRounds: 300},
+			BatchSize:       *batch,
+			Epochs:          *epochs,
+			ClientsPerRound: *k,
+		})
+	case "heuristic":
+		ctrl = core.NewHeuristic(*seed)
+	case "none":
+	default:
+		log.Fatalf("floatd: unknown controller %q", *controller)
+	}
+
+	srv, err := dist.NewServer(dist.ServerConfig{
+		Spec: dist.TrainSpec{
+			Arch: *arch, InDim: profile.Dim, Classes: profile.Classes,
+			Epochs: *epochs, BatchSize: *batch, LR: *lr,
+		},
+		AggregateK: *k,
+		Controller: ctrl,
+		Holdout:    fed.GlobalTest,
+		Seed:       *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("floatd: serving %s/%s on %s (controller=%s, k=%d)\n",
+		*dataset, *arch, *addr, ctrl.Name(), *k)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

@@ -1,0 +1,59 @@
+// Command floatreport summarizes a JSONL training log produced by the FL
+// engines (fl.Config.Logger / floatsim -log): participation and dropout
+// breakdowns, per-technique outcomes, per-round completion trend, and
+// resource totals — the analog of analyzing the paper artifact's
+// `<dataset>_logging` output.
+//
+// Usage:
+//
+//	floatsim -dataset femnist -controller float -log run.jsonl
+//	floatreport -in run.jsonl
+//	floatreport -in run.jsonl -trend
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"floatfl/internal/report"
+)
+
+func main() {
+	var (
+		in    = flag.String("in", "", "path to a JSONL training log")
+		trend = flag.Bool("trend", false, "also print the per-round completion trend")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "floatreport: -in is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	sum, err := report.Parse(f)
+	if err != nil {
+		fatal(err)
+	}
+	sum.Fprint(os.Stdout)
+
+	if *trend {
+		fmt.Println("\nper-round completion fraction:")
+		for i, frac := range sum.ParticipationTrend() {
+			bar := ""
+			for j := 0; j < int(frac*40); j++ {
+				bar += "#"
+			}
+			fmt.Printf("  round %3d  %5.1f%%  %s\n", sum.Rounds[i].Round, frac*100, bar)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "floatreport:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,204 @@
+// Command floatsim runs a single federated-learning experiment — a
+// dataset, a client-selection algorithm, an optional FLOAT / heuristic /
+// static controller, and an interference scenario — and prints a per-run
+// report: accuracy statistics, dropout causes, resource inefficiency, and
+// (for FLOAT) the learned per-action Q summary. With -save-agent the
+// trained RLHF agent is written to disk for later fine-tuning (the paper's
+// pre-train-and-transfer workflow).
+//
+// Examples:
+//
+//	floatsim -dataset femnist -algo fedavg
+//	floatsim -dataset femnist -algo oort -controller float
+//	floatsim -dataset cifar10 -algo fedbuff -controller float -scale paper
+//	floatsim -dataset femnist -algo fedavg -controller static:prune50
+//	floatsim -dataset femnist -controller float -save-agent agent.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"floatfl/internal/core"
+	"floatfl/internal/device"
+	"floatfl/internal/experiment"
+	"floatfl/internal/fl"
+	"floatfl/internal/rl"
+	"floatfl/internal/trace"
+)
+
+func main() {
+	var (
+		dataset    = flag.String("dataset", "femnist", "dataset profile: femnist | cifar10 | openimage | speech | emnist")
+		algo       = flag.String("algo", "fedavg", "selection algorithm: fedavg | oort | refl | fedbuff")
+		controller = flag.String("controller", "none", "none | float | float-rl | heuristic | static:<technique>")
+		scenario   = flag.String("scenario", "dynamic", "interference: none | static | dynamic")
+		alpha      = flag.Float64("alpha", 0.1, "Dirichlet concentration (non-IID strength)")
+		scale      = flag.String("scale", "quick", "experiment scale: quick | paper")
+		clients    = flag.Int("clients", 0, "override client count")
+		rounds     = flag.Int("rounds", 0, "override round count")
+		perRound   = flag.Int("per-round", 0, "override clients per round")
+		deadlinePc = flag.Float64("deadline-pct", 0, "deadline percentile of population response time")
+		seed       = flag.Int64("seed", 0, "override RNG seed")
+		saveAgent  = flag.String("save-agent", "", "write the FLOAT agent's Q-table to this file")
+		logPath    = flag.String("log", "", "write a JSONL training log to this file (analyze with floatreport)")
+		seeds      = flag.Int("seeds", 0, "run a seed sweep of this size and report mean±std instead of a single run")
+	)
+	flag.Parse()
+
+	sc := experiment.Quick
+	switch *scale {
+	case "quick":
+	case "paper":
+		sc = experiment.Paper
+	default:
+		fatal(fmt.Errorf("unknown scale %q (quick | paper)", *scale))
+	}
+	if *clients > 0 {
+		sc.Clients = *clients
+	}
+	if *rounds > 0 {
+		sc.Rounds = *rounds
+	}
+	if *perRound > 0 {
+		sc.PerRound = *perRound
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	sn, err := trace.ParseScenario(*scenario)
+	if err != nil {
+		fatal(err)
+	}
+	spec := experiment.RunSpec{
+		Dataset:            *dataset,
+		Algo:               *algo,
+		Alpha:              *alpha,
+		Scenario:           sn,
+		DeadlinePercentile: *deadlinePc,
+	}
+	switch {
+	case *controller == "none":
+	case *controller == "float":
+		spec.Float = true
+	case *controller == "float-rl":
+		spec.Float = true
+		cfg := rl.Config{DisableHF: true}
+		spec.FloatCfg = &cfg
+	case *controller == "heuristic":
+		spec.Heur = true
+	case strings.HasPrefix(*controller, "static:"):
+		spec.Static = strings.TrimPrefix(*controller, "static:")
+	default:
+		fatal(fmt.Errorf("unknown controller %q", *controller))
+	}
+
+	if *seeds > 0 {
+		sweep, err := experiment.Sweep(sc, spec, *seeds)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("seed sweep (n=%d): dataset=%s algo=%s controller=%s\n\n",
+			*seeds, *dataset, *algo, *controller)
+		fmt.Printf("  avg accuracy      %s\n", sweep.AvgAccuracy)
+		fmt.Printf("  dropped rounds    %s\n", sweep.Dropped)
+		fmt.Printf("  wasted compute-h  %s\n", sweep.WastedCompute)
+		fmt.Printf("  wasted comm-h     %s\n", sweep.WastedComm)
+		return
+	}
+
+	if *logPath != "" {
+		logFile, err := os.Create(*logPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer logFile.Close()
+		jl := fl.NewJSONLLogger(logFile)
+		spec.Logger = jl
+		defer func() {
+			if err := jl.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "floatsim: log writer:", err)
+			}
+		}()
+	}
+
+	res, ctrl, err := experiment.RunWithController(sc, spec)
+	if err != nil {
+		fatal(err)
+	}
+
+	printReport(res)
+
+	if f, ok := ctrl.(*core.Float); ok {
+		printAgentSummary(f)
+		if *saveAgent != "" && f.Agent() != nil {
+			out, err := os.Create(*saveAgent)
+			if err != nil {
+				fatal(err)
+			}
+			if err := f.SaveAgent(out); err != nil {
+				fatal(err)
+			}
+			if err := out.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("\nagent Q-table written to %s (%d states)\n", *saveAgent, f.Agent().StatesVisited())
+		}
+	}
+}
+
+func printReport(res *fl.Result) {
+	fmt.Printf("run: algo=%s controller=%s deadline=%.1fs\n\n",
+		res.Algorithm, res.Controller, res.DeadlineSec)
+
+	fmt.Println("accuracy (final global model on clients' local test splits):")
+	s := res.FinalAccStats
+	fmt.Printf("  top-10%%: %.1f%%   average: %.1f%%   bottom-10%%: %.1f%%   global holdout: %.1f%%\n\n",
+		s.Top10*100, s.Average*100, s.Bottom10*100, res.FinalGlobalAcc*100)
+
+	fmt.Println("convergence (global holdout accuracy per eval point):")
+	for i, acc := range res.GlobalAccHistory {
+		fmt.Printf("  round %4d: %.1f%%\n", res.EvalRounds[i], acc*100)
+	}
+	fmt.Println()
+
+	l := res.Ledger
+	fmt.Printf("participation: %d client-rounds, %d completed, %d dropped (%.1f%% drop rate)\n",
+		l.TotalRounds, l.TotalRounds-l.TotalDrops, l.TotalDrops, l.DropRate()*100)
+	for _, reason := range []device.DropReason{
+		device.DropDeadline, device.DropUnavailable, device.DropMemory, device.DropEnergy,
+	} {
+		if n := l.DropsByReason[reason]; n > 0 {
+			fmt.Printf("  dropouts by %s: %d\n", reason, n)
+		}
+	}
+	fmt.Printf("selection bias: %.1f%% never selected, %.1f%% never completed, gini %.3f, jain %.3f\n\n",
+		l.NeverSelectedFraction()*100, l.NeverCompletedFraction()*100,
+		l.SelectionGini(), l.SelectionJainIndex())
+
+	fmt.Println("resource inefficiency (wasted by dropped clients):")
+	fmt.Printf("  compute %.2f h   communication %.2f h   memory %.3f TB\n",
+		l.Wasted.ComputeHours, l.Wasted.CommHours, l.Wasted.MemoryTB)
+	fmt.Printf("useful resource usage: compute %.2f h   communication %.2f h\n",
+		l.Useful.ComputeHours, l.Useful.CommHours)
+	fmt.Printf("wall clock: %.2f h\n", res.WallClockSeconds/3600)
+}
+
+func printAgentSummary(f *core.Float) {
+	sum := f.Summary()
+	fmt.Printf("\nFLOAT: %d agent(s), %d states visited, %d updates, %.1f KB Q-table(s)\n",
+		sum.Agents, sum.States, sum.Updates, float64(sum.MemoryBytes)/1024)
+	fmt.Println("per-action learned objectives (visit-weighted):")
+	fmt.Printf("  %-10s %12s %12s %8s\n", "action", "P(success)", "acc-improve", "visits")
+	for _, st := range sum.Actions {
+		fmt.Printf("  %-10s %12.3f %12.3f %8d\n", st.Technique, st.Part, st.Acc, st.Visits)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "floatsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// Vertical FL: FLOAT in the non-horizontal setting (paper Section 7).
+//
+// Four parties hold disjoint feature slices of the same samples (think: a
+// bank, a retailer, a telco, and an insurer describing the same
+// customers). Every training step every party is on the critical path —
+// one straggling party stalls the federation — so adaptive per-party
+// acceleration matters even more than in horizontal FL. The run compares
+// plain VFL against VFL with FLOAT deciding each party's technique.
+//
+//	go run ./examples/vertical_fl
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"floatfl/internal/core"
+	"floatfl/internal/fl"
+	"floatfl/internal/rl"
+	"floatfl/internal/trace"
+	"floatfl/internal/vfl"
+)
+
+const (
+	parties = 4
+	rounds  = 30
+	seed    = 23
+)
+
+func run(name string, ctrl fl.Controller) *vfl.Result {
+	ds, err := vfl.Split("femnist", parties, 500, 200, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := vfl.Config{
+		EmbeddingDim: 8, Rounds: rounds, BatchSize: 16,
+		LR: 0.3, StepsPerRound: 8, Seed: seed,
+	}
+	ps, coord, err := vfl.NewFederation(ds, cfg, trace.ScenarioDynamic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := vfl.Run(ds, ps, coord, ctrl, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-12s final-acc %5.1f%%  party-drops %v (total %d)  wall-clock %5.2fh  wasted-compute %5.2fh\n",
+		name, res.FinalTestAcc*100, res.PartyDrops, res.TotalDrops,
+		res.WallClockSeconds/3600, res.WastedComputeHours)
+	return res
+}
+
+func main() {
+	fmt.Printf("vertical FL: %d parties, %d rounds, dynamic interference\n\n", parties, rounds)
+	run("plain", fl.NoOpController{})
+	float := core.New(core.Config{
+		Agent:           rl.Config{Seed: seed, TotalRounds: rounds},
+		BatchSize:       16,
+		Epochs:          1,
+		ClientsPerRound: parties,
+	})
+	run("float", float)
+	fmt.Println("\nexpected shape: FLOAT keeps more parties inside the deadline, so")
+	fmt.Println("fewer rounds train on zero-filled embeddings and accuracy holds up.")
+
+	// Hybrid FL (Section 7): three silos, each a vertical federation over
+	// the same feature schema but a different sample population; silos
+	// train locally and FedAvg their split models every global round. One
+	// FLOAT controller serves every party of every silo.
+	fmt.Printf("\nhybrid FL: 3 silos x %d parties, %d global rounds\n\n", parties, rounds)
+	cfg := vfl.Config{
+		EmbeddingDim: 8, Rounds: rounds, BatchSize: 16,
+		LR: 0.3, StepsPerRound: 8, Seed: seed,
+	}
+	hfloat := core.New(core.Config{
+		Agent:           rl.Config{Seed: seed + 1, TotalRounds: rounds},
+		BatchSize:       16,
+		Epochs:          1,
+		ClientsPerRound: 3 * parties,
+	})
+	for _, arm := range []struct {
+		name string
+		ctrl fl.Controller
+	}{{"plain", fl.NoOpController{}}, {"float", hfloat}} {
+		h, err := vfl.NewHybrid("femnist", 3, parties, 400, 150, cfg, trace.ScenarioDynamic, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := h.Run(arm.ctrl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s final-acc %5.1f%%  silo-drops %v (total %d)  wall-clock %5.2fh\n",
+			arm.name, res.FinalTestAcc*100, res.SiloDrops, res.TotalDrops,
+			res.WallClockSeconds/3600)
+	}
+}

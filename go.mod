@@ -1,0 +1,3 @@
+module floatfl
+
+go 1.22

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"floatfl/internal/device"
+	"floatfl/internal/opt"
+	"floatfl/internal/rl"
+	"floatfl/internal/trace"
+)
+
+func perClientFloat(seed int64) *Float {
+	return New(Config{
+		Agent:           rl.Config{Seed: seed, TotalRounds: 50},
+		BatchSize:       20,
+		Epochs:          5,
+		ClientsPerRound: 30,
+		PerClient:       true,
+	})
+}
+
+func TestPerClientMode(t *testing.T) {
+	f := perClientFloat(1)
+	if f.Name() != "float-local" {
+		t.Fatalf("per-client name %q", f.Name())
+	}
+	if f.Agent() != nil {
+		t.Fatal("per-client mode must not expose a collective agent")
+	}
+	pop, err := device.NewPopulation(device.PopulationConfig{
+		Clients: 3, Scenario: trace.ScenarioDynamic, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 10; round++ {
+		for _, c := range pop {
+			res := c.ResourcesAt(round)
+			tech := f.Decide(round, c, res, 0)
+			f.Feedback(round, c, tech, device.Outcome{Completed: true, Resources: res}, 0.1)
+		}
+	}
+	sum := f.Summary()
+	if sum.Agents != 3 {
+		t.Fatalf("expected 3 per-client agents, got %d", sum.Agents)
+	}
+	if sum.Updates != 30 {
+		t.Fatalf("expected 30 updates across agents, got %d", sum.Updates)
+	}
+	if sum.States == 0 || sum.MemoryBytes == 0 {
+		t.Fatalf("summary missing state/memory accounting: %+v", sum)
+	}
+	if len(sum.Actions) != len(opt.Actions()) {
+		t.Fatalf("merged action summary has %d entries", len(sum.Actions))
+	}
+}
+
+func TestPerClientIsolation(t *testing.T) {
+	// One client's experience must not leak into another's table.
+	f := perClientFloat(3)
+	pop, err := device.NewPopulation(device.PopulationConfig{
+		Clients: 2, Scenario: trace.ScenarioNone, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := pop[0].ResourcesAt(0)
+	tech := f.Decide(0, pop[0], res, 0)
+	f.Feedback(0, pop[0], tech, device.Outcome{Completed: true, Resources: res}, 0.5)
+
+	a0 := f.agentFor(pop[0].ID)
+	a1 := f.agentFor(pop[1].ID)
+	if a0 == a1 {
+		t.Fatal("per-client agents must be distinct")
+	}
+	if a0.Updates() != 1 || a1.Updates() != 0 {
+		t.Fatalf("experience leaked: a0=%d a1=%d updates", a0.Updates(), a1.Updates())
+	}
+}
+
+func TestPerClientSaveLoadRefused(t *testing.T) {
+	f := perClientFloat(5)
+	var buf bytes.Buffer
+	if err := f.SaveAgent(&buf); err == nil {
+		t.Fatal("per-client tables must not be exportable")
+	}
+	if err := f.LoadAgent(&buf); err == nil {
+		t.Fatal("per-client tables must not be seedable")
+	}
+}
+
+func TestCollectiveSummaryMatchesAgent(t *testing.T) {
+	f := testFloat(6)
+	c := testClient(t)
+	for i := 0; i < 15; i++ {
+		res := c.ResourcesAt(i)
+		tech := f.Decide(i, c, res, 0)
+		f.Feedback(i, c, tech, device.Outcome{Completed: i%2 == 0, Resources: res}, 0.1)
+	}
+	sum := f.Summary()
+	if sum.Agents != 1 {
+		t.Fatalf("collective mode should report 1 agent, got %d", sum.Agents)
+	}
+	if sum.Updates != f.Agent().Updates() || sum.States != f.Agent().StatesVisited() {
+		t.Fatal("summary disagrees with the collective agent")
+	}
+}

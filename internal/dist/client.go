@@ -1,0 +1,211 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+
+	"floatfl/internal/nn"
+	"floatfl/internal/opt"
+)
+
+// newRand is a tiny indirection so server and client share seeding style.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Client is the device-side runtime: it registers, polls for tasks, trains
+// on its private shard under the assigned technique, and uploads the
+// codec-compressed delta.
+type Client struct {
+	baseURL string
+	http    *http.Client
+
+	Name  string
+	Shard []nn.Sample
+	// LocalTest measures the accuracy-improvement reward.
+	LocalTest []nn.Sample
+	// Report supplies the per-round resource self-report; nil reports a
+	// fully available device.
+	Report func(round int) ResourceReport
+
+	id    int
+	spec  TrainSpec
+	model *nn.Model
+	rng   *rand.Rand
+	// lastDeadlineDiff carries human feedback into the next report.
+	lastDeadlineDiff float64
+}
+
+// NewClient constructs a client runtime against a server base URL.
+func NewClient(baseURL, name string, shard, localTest []nn.Sample, seed int64) *Client {
+	return &Client{
+		baseURL:   baseURL,
+		http:      &http.Client{},
+		Name:      name,
+		Shard:     shard,
+		LocalTest: localTest,
+		rng:       newRand(seed),
+	}
+}
+
+// Register announces the client and receives its training configuration.
+func (c *Client) Register(gflops, memoryMB float64) error {
+	var resp RegisterResponse
+	if err := c.post("/v1/register", RegisterRequest{
+		Name: c.Name, GFLOPS: gflops, MemoryMB: memoryMB,
+	}, &resp); err != nil {
+		return err
+	}
+	c.id = resp.ClientID
+	c.spec = resp.Spec
+	m, err := nn.NewModel(resp.Spec.Arch, resp.Spec.InDim, resp.Spec.Classes, c.rng)
+	if err != nil {
+		return err
+	}
+	c.model = m
+	return nil
+}
+
+// ID returns the server-assigned client ID (valid after Register).
+func (c *Client) ID() int { return c.id }
+
+// Step performs one full participation: fetch a task, train under the
+// assigned technique, upload the update. It returns (participated, error);
+// participated is false when the server had no slot for this round or the
+// round advanced mid-training (a deployment-side dropout).
+func (c *Client) Step(round int) (bool, error) {
+	if c.model == nil {
+		return false, fmt.Errorf("dist: client %q not registered", c.Name)
+	}
+	report := ResourceReport{CPUFrac: 0.8, MemFrac: 0.8, NetFrac: 1, BandwidthMbps: 50, Battery: 1}
+	if c.Report != nil {
+		report = c.Report(round)
+	}
+	report.DeadlineDiff = c.lastDeadlineDiff
+
+	var task TaskResponse
+	status, err := c.postStatus("/v1/task", TaskRequest{ClientID: c.id, Resources: report}, &task)
+	if err != nil {
+		return false, err
+	}
+	if status == http.StatusNoContent {
+		return false, nil // no slot this round
+	}
+	tech, err := opt.Parse(task.Technique)
+	if err != nil {
+		return false, err
+	}
+	if err := c.model.UnmarshalBinary(task.Model); err != nil {
+		return false, err
+	}
+	before := c.model.Parameters()
+	accBefore, _ := c.model.Evaluate(c.LocalTest)
+
+	eff := tech.Effects()
+	tc := nn.TrainConfig{
+		Epochs:       c.spec.Epochs,
+		BatchSize:    c.spec.BatchSize,
+		LR:           c.spec.LR,
+		GradClip:     5,
+		FrozenLayers: opt.FrozenLayerMask(len(c.model.Layers), eff.PartialFrac),
+		Seed:         c.rng.Int63(),
+	}
+	if _, err := c.model.Train(c.Shard, tc); err != nil {
+		return false, err
+	}
+	delta := c.model.Parameters()
+	delta.AddScaled(-1, before)
+	opt.ApplyToUpdate(tech, delta, c.rng)
+
+	applied := before.Clone()
+	applied.AddScaled(1, delta)
+	if err := c.model.SetParameters(applied); err != nil {
+		return false, err
+	}
+	accAfter, _ := c.model.Evaluate(c.LocalTest)
+
+	blob, err := opt.CompressUpdate(delta, c.spec.QuantBits)
+	if err != nil {
+		return false, err
+	}
+	status, err = c.postStatus("/v1/update", UpdateRequest{
+		ClientID:   c.id,
+		Round:      task.Round,
+		Technique:  tech.String(),
+		Delta:      blob,
+		Samples:    len(c.Shard),
+		AccImprove: accAfter - accBefore,
+	}, nil)
+	if err != nil {
+		return false, err
+	}
+	if status == http.StatusConflict {
+		// The round moved on while we trained: a real-world dropout.
+		c.lastDeadlineDiff = 0.5
+		return false, nil
+	}
+	c.lastDeadlineDiff = 0
+	return status == http.StatusOK, nil
+}
+
+// Status fetches the server's status.
+func (c *Client) Status() (StatusResponse, error) {
+	var out StatusResponse
+	resp, err := c.http.Get(c.baseURL + "/v1/status")
+	if err != nil {
+		return out, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("dist: status returned %d", resp.StatusCode)
+	}
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+func (c *Client) post(path string, req, resp interface{}) error {
+	status, err := c.postStatus(path, req, resp)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("dist: %s returned %d", path, status)
+	}
+	return nil
+}
+
+// postStatus posts JSON and decodes a JSON response when resp is non-nil
+// and the status is 200. Protocol-level statuses (204, 409) are returned
+// to the caller without error.
+func (c *Client) postStatus(path string, req, resp interface{}) (int, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, err
+	}
+	httpResp, err := c.http.Post(c.baseURL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer drainClose(httpResp.Body)
+	switch httpResp.StatusCode {
+	case http.StatusOK:
+		if resp != nil {
+			if err := json.NewDecoder(httpResp.Body).Decode(resp); err != nil {
+				return httpResp.StatusCode, err
+			}
+		}
+		return httpResp.StatusCode, nil
+	case http.StatusNoContent, http.StatusConflict:
+		return httpResp.StatusCode, nil
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 512))
+		return httpResp.StatusCode, fmt.Errorf("dist: %s returned %d: %s",
+			path, httpResp.StatusCode, bytes.TrimSpace(msg))
+	}
+}
+
+func drainClose(rc io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, rc)
+	_ = rc.Close()
+}

@@ -1,0 +1,76 @@
+package dist
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentClients drives the aggregator with truly concurrent client
+// goroutines; run under -race this checks the server's locking.
+func TestConcurrentClients(t *testing.T) {
+	srv, hs, fed := testServer(t, nil, 4)
+	const n = 6
+	const rounds = 4
+
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := NewClient(hs.URL, "c", fed.Train[i], fed.LocalTest[i], int64(200+i))
+			if err := c.Register(15, 3000); err != nil {
+				errs <- err
+				return
+			}
+			for r := 0; r < rounds; r++ {
+				if _, err := c.Step(r); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if srv.Round() == 0 {
+		t.Fatal("no aggregation happened under concurrent load")
+	}
+	st := StatusResponse{}
+	_ = st
+}
+
+// TestConcurrentRegistrations checks ID assignment races.
+func TestConcurrentRegistrations(t *testing.T) {
+	_, hs, fed := testServer(t, nil, 4)
+	const n = 16
+	ids := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := NewClient(hs.URL, "r", fed.Train[i%8], fed.LocalTest[i%8], int64(i))
+			if err := c.Register(10, 2000); err != nil {
+				t.Error(err)
+				return
+			}
+			ids <- c.ID()
+		}(i)
+	}
+	wg.Wait()
+	close(ids)
+	seen := map[int]bool{}
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate client ID %d under concurrent registration", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("registered %d unique IDs, want %d", len(seen), n)
+	}
+}

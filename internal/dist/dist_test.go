@@ -1,0 +1,293 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"floatfl/internal/core"
+	"floatfl/internal/data"
+	"floatfl/internal/fl"
+	"floatfl/internal/opt"
+	"floatfl/internal/rl"
+	"floatfl/internal/tensor"
+)
+
+func testServer(t *testing.T, ctrl fl.Controller, k int) (*Server, *httptest.Server, *data.Federation) {
+	t.Helper()
+	fed, err := data.Generate("femnist", data.GenerateConfig{Clients: 8, Alpha: 0.1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{
+		Spec: TrainSpec{
+			Arch: "resnet18", InDim: fed.Profile.Dim, Classes: fed.Profile.Classes,
+			Epochs: 2, BatchSize: 16, LR: 0.1,
+		},
+		AggregateK: k,
+		Controller: ctrl,
+		Holdout:    fed.GlobalTest[:200],
+		Seed:       6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return srv, hs, fed
+}
+
+func registeredClient(t *testing.T, hs *httptest.Server, fed *data.Federation, i int) *Client {
+	t.Helper()
+	c := NewClient(hs.URL, "c", fed.Train[i], fed.LocalTest[i], int64(100+i))
+	if err := c.Register(15, 3000); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(ServerConfig{}); err == nil {
+		t.Fatal("accepted empty TrainSpec")
+	}
+	if _, err := NewServer(ServerConfig{Spec: TrainSpec{Arch: "nope", InDim: 4, Classes: 2}}); err == nil {
+		t.Fatal("accepted unknown arch")
+	}
+}
+
+func TestRegisterAssignsIDs(t *testing.T) {
+	_, hs, fed := testServer(t, nil, 2)
+	a := registeredClient(t, hs, fed, 0)
+	b := registeredClient(t, hs, fed, 1)
+	if a.ID() == b.ID() {
+		t.Fatal("clients share an ID")
+	}
+	if a.spec.Arch != "resnet18" || a.spec.QuantBits != 16 {
+		t.Fatalf("spec not propagated: %+v", a.spec)
+	}
+}
+
+func TestEndToEndTrainingImprovesAccuracy(t *testing.T) {
+	srv, hs, fed := testServer(t, nil, 4)
+	clients := make([]*Client, 4)
+	for i := range clients {
+		clients[i] = registeredClient(t, hs, fed, i)
+	}
+	st, err := clients[0].Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Registered != 4 || st.Round != 0 {
+		t.Fatalf("status wrong: %+v", st)
+	}
+
+	const rounds = 8
+	for round := 0; round < rounds; round++ {
+		for _, c := range clients {
+			ok, err := c.Step(round)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("client %d not accepted in round %d", c.ID(), round)
+			}
+		}
+	}
+	if srv.Round() != rounds {
+		t.Fatalf("server at round %d, want %d", srv.Round(), rounds)
+	}
+	acc := srv.HoldoutAccuracy()
+	chance := 1.0 / float64(fed.Profile.Classes)
+	if acc < chance*1.5 {
+		t.Fatalf("distributed training did not learn: holdout %.3f (chance %.3f)", acc, chance)
+	}
+}
+
+func TestFloatControllerAssignsTechniques(t *testing.T) {
+	float := core.New(core.Config{
+		Agent:           rl.Config{Seed: 7, TotalRounds: 10},
+		BatchSize:       16,
+		Epochs:          2,
+		ClientsPerRound: 4,
+	})
+	srv, hs, fed := testServer(t, float, 3)
+	clients := make([]*Client, 3)
+	for i := range clients {
+		clients[i] = registeredClient(t, hs, fed, i)
+		// Report squeezed resources so FLOAT's decisions matter.
+		clients[i].Report = func(round int) ResourceReport {
+			return ResourceReport{CPUFrac: 0.2, MemFrac: 0.4, NetFrac: 0.3, BandwidthMbps: 8, Battery: 0.6}
+		}
+	}
+	for round := 0; round < 5; round++ {
+		for _, c := range clients {
+			if _, err := c.Step(round); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if float.Agent().Updates() == 0 {
+		t.Fatal("FLOAT agent received no feedback through the HTTP path")
+	}
+	if srv.Round() != 5 {
+		t.Fatalf("server at round %d, want 5", srv.Round())
+	}
+}
+
+func TestStaleUpdateRejected(t *testing.T) {
+	srv, hs, fed := testServer(t, nil, 1)
+	slow := registeredClient(t, hs, fed, 0)
+	fast := registeredClient(t, hs, fed, 1)
+
+	// Slow client takes a task but does not upload yet.
+	var task TaskResponse
+	status, err := slow.postStatus("/v1/task", TaskRequest{ClientID: slow.ID(),
+		Resources: ResourceReport{CPUFrac: 0.8, MemFrac: 0.8, NetFrac: 1, BandwidthMbps: 50, Battery: 1}}, &task)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("task fetch: %d %v", status, err)
+	}
+	// Fast client completes the round (AggregateK=1 advances immediately).
+	if ok, err := fast.Step(0); err != nil || !ok {
+		t.Fatalf("fast client step: %v %v", ok, err)
+	}
+	if srv.Round() != 1 {
+		t.Fatalf("round should have advanced, at %d", srv.Round())
+	}
+	// Slow client now uploads for round 0 — must be rejected as stale, and
+	// the client records deadline human feedback.
+	if ok, err := slow.Step(0); err != nil {
+		t.Fatal(err)
+	} else if ok {
+		// Step re-fetched a fresh task for round 1, which is legal; but the
+		// original task was invalidated by aggregateLocked. Either way the
+		// slow client must not have corrupted round accounting.
+		_ = ok
+	}
+	if srv.Round() < 1 {
+		t.Fatal("round regressed")
+	}
+}
+
+func TestUpdateValidation(t *testing.T) {
+	_, hs, fed := testServer(t, nil, 2)
+	c := registeredClient(t, hs, fed, 0)
+
+	post := func(v interface{}, path string) int {
+		body, _ := json.Marshal(v)
+		resp, err := http.Post(hs.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	// Unknown client.
+	if code := post(UpdateRequest{ClientID: 99, Round: 0}, "/v1/update"); code != http.StatusNotFound {
+		t.Fatalf("unknown client update returned %d", code)
+	}
+	if code := post(TaskRequest{ClientID: 99}, "/v1/task"); code != http.StatusNotFound {
+		t.Fatalf("unknown client task returned %d", code)
+	}
+	// Garbage delta from a client that holds a task.
+	status, err := c.postStatus("/v1/task", TaskRequest{ClientID: c.ID(),
+		Resources: ResourceReport{CPUFrac: 0.8, MemFrac: 0.8, NetFrac: 1, BandwidthMbps: 50, Battery: 1}}, &TaskResponse{})
+	if err != nil || status != http.StatusOK {
+		t.Fatal(err)
+	}
+	if code := post(UpdateRequest{ClientID: c.ID(), Round: 0, Delta: []byte{1, 2}}, "/v1/update"); code != http.StatusBadRequest {
+		t.Fatalf("garbage delta returned %d", code)
+	}
+	// GET on a POST-only endpoint.
+	resp, err := http.Get(hs.URL + "/v1/task")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/task returned %d", resp.StatusCode)
+	}
+}
+
+func TestOverProvisioningCap(t *testing.T) {
+	srv, hs, fed := testServer(t, nil, 4)
+	_ = srv
+	// MaxOutstanding defaults to 8; the 9th concurrent task request must
+	// get 204.
+	var clients []*Client
+	for i := 0; i < 8; i++ {
+		c := registeredClient(t, hs, fed, i%8)
+		status, err := c.postStatus("/v1/task", TaskRequest{ClientID: c.ID(),
+			Resources: ResourceReport{CPUFrac: 0.8, MemFrac: 0.8, NetFrac: 1, BandwidthMbps: 50, Battery: 1}}, &TaskResponse{})
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("client %d task: %d %v", i, status, err)
+		}
+		clients = append(clients, c)
+	}
+	extra := registeredClient(t, hs, fed, 0)
+	status, err := extra.postStatus("/v1/task", TaskRequest{ClientID: extra.ID(),
+		Resources: ResourceReport{CPUFrac: 0.8, MemFrac: 0.8, NetFrac: 1, BandwidthMbps: 50, Battery: 1}}, &TaskResponse{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusNoContent {
+		t.Fatalf("over-provisioned task request returned %d, want 204", status)
+	}
+	// Idempotent re-request by a holder still succeeds.
+	status, err = clients[0].postStatus("/v1/task", TaskRequest{ClientID: clients[0].ID(),
+		Resources: ResourceReport{CPUFrac: 0.8, MemFrac: 0.8, NetFrac: 1, BandwidthMbps: 50, Battery: 1}}, &TaskResponse{})
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("idempotent re-request: %d %v", status, err)
+	}
+}
+
+func TestStepWithoutRegister(t *testing.T) {
+	_, hs, fed := testServer(t, nil, 2)
+	c := NewClient(hs.URL, "x", fed.Train[0], fed.LocalTest[0], 1)
+	if _, err := c.Step(0); err == nil {
+		t.Fatal("Step before Register should fail")
+	}
+}
+
+func TestNonFiniteUpdateRejected(t *testing.T) {
+	srv, hs, fed := testServer(t, nil, 2)
+	c := registeredClient(t, hs, fed, 0)
+	// Hold a valid task first.
+	status, err := c.postStatus("/v1/task", TaskRequest{ClientID: c.ID(),
+		Resources: ResourceReport{CPUFrac: 0.8, MemFrac: 0.8, NetFrac: 1, BandwidthMbps: 50, Battery: 1}}, &TaskResponse{})
+	if err != nil || status != http.StatusOK {
+		t.Fatal(err)
+	}
+	// Craft a correctly-sized delta whose scale field is Inf: the decoded
+	// values become non-finite and the server must reject them.
+	delta := tensor.NewVector(paramCount(t, c))
+	delta.Fill(1)
+	blob, err := opt.CompressUpdate(delta, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the scale with +Inf.
+	binary.LittleEndian.PutUint64(blob[4:12], math.Float64bits(math.Inf(1)))
+	status, err = c.postStatus("/v1/update", UpdateRequest{
+		ClientID: c.ID(), Round: 0, Technique: "quant16", Delta: blob, Samples: 10,
+	}, nil)
+	if err == nil && status == http.StatusOK {
+		t.Fatal("server accepted a non-finite update")
+	}
+	if srv.Round() != 0 {
+		t.Fatal("poisoned update advanced the round")
+	}
+}
+
+// paramCount infers the global model's parameter count from the client's
+// registered spec.
+func paramCount(t *testing.T, c *Client) int {
+	t.Helper()
+	if c.model == nil {
+		t.Fatal("client not registered")
+	}
+	return c.model.NumParams()
+}

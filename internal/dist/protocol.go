@@ -1,0 +1,111 @@
+// Package dist is a minimal but real federated-learning deployment over
+// HTTP: an aggregator server that hands out the global model and collects
+// compressed updates, and a client runtime that trains locally and reports
+// its resource state each round. It exists to demonstrate the paper's
+// non-intrusiveness claim outside the simulator: the server embeds the
+// same fl.Controller interface (FLOAT, heuristic, static, or none) and the
+// wire protocol carries the same quantized/pruned updates the simulator
+// models, encoded with the opt codec.
+//
+// The protocol is deliberately small:
+//
+//	POST /v1/register  {name, gflops, memory_mb}        -> {client_id, training config}
+//	POST /v1/task      {client_id, resources}            -> {round, technique, model} | 204
+//	POST /v1/update    {client_id, round, delta, ...}    -> 200 | 409 (stale round)
+//	GET  /v1/status                                      -> {round, registered, holdout accuracy}
+package dist
+
+import (
+	"floatfl/internal/device"
+)
+
+// RegisterRequest announces a client and its device capability; the
+// capability feeds FLOAT's capacity-aware state encoding.
+type RegisterRequest struct {
+	Name     string  `json:"name"`
+	GFLOPS   float64 `json:"gflops"`
+	MemoryMB float64 `json:"memory_mb"`
+}
+
+// TrainSpec is the training configuration the server pushes to clients.
+type TrainSpec struct {
+	Arch      string  `json:"arch"`
+	InDim     int     `json:"in_dim"`
+	Classes   int     `json:"classes"`
+	Epochs    int     `json:"epochs"`
+	BatchSize int     `json:"batch_size"`
+	LR        float64 `json:"lr"`
+	// QuantBits is the wire quantization of the update codec (16 default).
+	QuantBits int `json:"quant_bits"`
+}
+
+// RegisterResponse assigns the client its ID and configuration.
+type RegisterResponse struct {
+	ClientID int       `json:"client_id"`
+	Spec     TrainSpec `json:"spec"`
+}
+
+// ResourceReport is the client's self-reported availability snapshot —
+// the "system-level resource availability information" the paper notes is
+// all FLOAT needs from clients (data never leaves the device).
+type ResourceReport struct {
+	CPUFrac       float64 `json:"cpu_frac"`
+	MemFrac       float64 `json:"mem_frac"`
+	NetFrac       float64 `json:"net_frac"`
+	BandwidthMbps float64 `json:"bandwidth_mbps"`
+	Battery       float64 `json:"battery"`
+	// DeadlineDiff is the human-feedback signal: fractional overrun of the
+	// previous round's deadline (0 when met).
+	DeadlineDiff float64 `json:"deadline_diff"`
+}
+
+// toResources converts a report into the simulator's resource type so the
+// same Controller implementations work unmodified.
+func (r ResourceReport) toResources() device.Resources {
+	return device.Resources{
+		Available:     true,
+		CPUFrac:       r.CPUFrac,
+		MemFrac:       r.MemFrac,
+		NetFrac:       r.NetFrac,
+		BandwidthMbps: r.BandwidthMbps,
+		Battery:       r.Battery,
+	}
+}
+
+// TaskRequest asks for this round's work.
+type TaskRequest struct {
+	ClientID  int            `json:"client_id"`
+	Resources ResourceReport `json:"resources"`
+}
+
+// TaskResponse carries the global model and the technique FLOAT assigned.
+type TaskResponse struct {
+	Round     int    `json:"round"`
+	Technique string `json:"technique"`
+	// Model is the serialized global parameters (nn binary format).
+	Model []byte `json:"model"`
+	// DeadlineSeconds is advisory for real deployments; the in-process
+	// tests ignore it.
+	DeadlineSeconds float64 `json:"deadline_seconds"`
+}
+
+// UpdateRequest uploads a trained, technique-transformed, codec-compressed
+// model delta.
+type UpdateRequest struct {
+	ClientID  int     `json:"client_id"`
+	Round     int     `json:"round"`
+	Technique string  `json:"technique"`
+	Delta     []byte  `json:"delta"` // opt.CompressUpdate output
+	Samples   int     `json:"samples"`
+	TrainSecs float64 `json:"train_secs"`
+	// AccImprove is the client's local-accuracy improvement (reward signal).
+	AccImprove float64 `json:"acc_improve"`
+}
+
+// StatusResponse summarizes server state.
+type StatusResponse struct {
+	Round       int     `json:"round"`
+	Registered  int     `json:"registered"`
+	HoldoutAcc  float64 `json:"holdout_acc"`
+	UpdatesSeen int     `json:"updates_seen"`
+}

@@ -1,0 +1,325 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+
+	"floatfl/internal/device"
+	"floatfl/internal/fl"
+	"floatfl/internal/nn"
+	"floatfl/internal/opt"
+	"floatfl/internal/tensor"
+	"floatfl/internal/trace"
+)
+
+// ServerConfig parameterizes the aggregator.
+type ServerConfig struct {
+	Spec TrainSpec
+	// AggregateK aggregates once this many updates arrive for the current
+	// round (default 4).
+	AggregateK int
+	// MaxOutstanding bounds how many clients may hold a task for the same
+	// round (over-provisioning against dropouts; default 2×AggregateK).
+	MaxOutstanding int
+	// Controller decides per-client techniques; nil means no acceleration.
+	Controller fl.Controller
+	// Holdout is evaluated after each aggregation when non-empty.
+	Holdout []nn.Sample
+	// DeadlineSeconds is advertised to clients with each task (advisory:
+	// the aggregation buffer, not a timer, advances rounds).
+	DeadlineSeconds float64
+	Seed            int64
+}
+
+// Server is the HTTP aggregator. All state is guarded by mu; handlers are
+// safe for concurrent use.
+type Server struct {
+	mu sync.Mutex
+
+	cfg    ServerConfig
+	global *nn.Model
+	round  int
+
+	nextClientID int
+	clients      map[int]*clientInfo
+
+	// outstanding counts tasks handed out for the current round.
+	outstanding int
+	// buffer of (delta, weight) pending aggregation.
+	deltas  []tensor.Vector
+	weights []float64
+
+	updatesSeen int
+	holdoutAcc  float64
+}
+
+type clientInfo struct {
+	name string
+	// dev is a capability-only shim so fl.Controller implementations see
+	// the same type they see in the simulator.
+	dev *device.Client
+	// taskRound is the round the client currently holds a task for
+	// (-1 when idle).
+	taskRound int
+	tech      opt.Technique
+}
+
+// NewServer builds an aggregator with a freshly initialized global model.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Spec.Arch == "" || cfg.Spec.InDim <= 0 || cfg.Spec.Classes <= 0 {
+		return nil, fmt.Errorf("dist: incomplete TrainSpec %+v", cfg.Spec)
+	}
+	if cfg.Spec.Epochs <= 0 {
+		cfg.Spec.Epochs = 2
+	}
+	if cfg.Spec.BatchSize <= 0 {
+		cfg.Spec.BatchSize = 16
+	}
+	if cfg.Spec.LR <= 0 {
+		cfg.Spec.LR = 0.1
+	}
+	if cfg.Spec.QuantBits <= 0 {
+		cfg.Spec.QuantBits = 16
+	}
+	if cfg.AggregateK <= 0 {
+		cfg.AggregateK = 4
+	}
+	if cfg.MaxOutstanding <= 0 {
+		cfg.MaxOutstanding = 2 * cfg.AggregateK
+	}
+	if cfg.Controller == nil {
+		cfg.Controller = fl.NoOpController{}
+	}
+	rng := newRand(cfg.Seed)
+	global, err := nn.NewModel(cfg.Spec.Arch, cfg.Spec.InDim, cfg.Spec.Classes, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:     cfg,
+		global:  global,
+		clients: make(map[int]*clientInfo),
+	}, nil
+}
+
+// Handler returns the server's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/register", s.handleRegister)
+	mux.HandleFunc("/v1/task", s.handleTask)
+	mux.HandleFunc("/v1/update", s.handleUpdate)
+	mux.HandleFunc("/v1/status", s.handleStatus)
+	return mux
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	id := s.nextClientID
+	s.nextClientID++
+	s.clients[id] = &clientInfo{
+		name: req.Name,
+		dev: &device.Client{
+			ID: id,
+			Compute: trace.ComputeProfile{
+				GFLOPS:         orDefault(req.GFLOPS, 10),
+				MemoryMB:       orDefault(req.MemoryMB, 2000),
+				EnergyCapacity: 2,
+			},
+		},
+		taskRound: -1,
+	}
+	spec := s.cfg.Spec
+	s.mu.Unlock()
+	writeJSON(w, RegisterResponse{ClientID: id, Spec: spec})
+}
+
+func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
+	var req TaskRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ci, ok := s.clients[req.ClientID]
+	if !ok {
+		http.Error(w, "dist: unknown client", http.StatusNotFound)
+		return
+	}
+	if ci.taskRound == s.round {
+		// Already holds this round's task; re-issue idempotently.
+	} else if s.outstanding >= s.cfg.MaxOutstanding {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	} else {
+		res := req.Resources.toResources()
+		ci.tech = s.cfg.Controller.Decide(s.round, ci.dev, res, req.Resources.DeadlineDiff)
+		ci.taskRound = s.round
+		s.outstanding++
+	}
+	blob, err := s.global.MarshalBinary()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, TaskResponse{
+		Round:           s.round,
+		Technique:       ci.tech.String(),
+		Model:           blob,
+		DeadlineSeconds: s.cfg.DeadlineSeconds,
+	})
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req UpdateRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ci, ok := s.clients[req.ClientID]
+	if !ok {
+		http.Error(w, "dist: unknown client", http.StatusNotFound)
+		return
+	}
+	if req.Round != s.round || ci.taskRound != s.round {
+		// Stale update from a previous round: reject so the client refreshes.
+		http.Error(w, "dist: stale round", http.StatusConflict)
+		return
+	}
+	delta, err := opt.DecompressUpdate(req.Delta)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(delta) != s.global.NumParams() {
+		http.Error(w, "dist: delta size mismatch", http.StatusBadRequest)
+		return
+	}
+	for _, x := range delta {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			// A diverged or malicious client must not poison the global
+			// model; the same guard the simulator's aggregator applies.
+			http.Error(w, "dist: non-finite update rejected", http.StatusBadRequest)
+			return
+		}
+	}
+	ci.taskRound = -1
+	s.outstanding--
+	s.updatesSeen++
+	weight := float64(req.Samples)
+	if weight <= 0 {
+		weight = 1
+	}
+	s.deltas = append(s.deltas, delta)
+	s.weights = append(s.weights, weight)
+
+	// Feed the controller: a returned update is a successful participation.
+	s.cfg.Controller.Feedback(s.round, ci.dev, ci.tech,
+		device.Outcome{Completed: true, Cost: device.Cost{TotalSeconds: req.TrainSecs}},
+		req.AccImprove)
+
+	if len(s.deltas) >= s.cfg.AggregateK {
+		if err := s.aggregateLocked(); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// aggregateLocked applies the buffered weighted deltas and advances the
+// round. Clients still holding tasks for the old round will get a 409 on
+// upload and re-fetch — the deployment analog of a deadline dropout, which
+// is also reported to the controller.
+func (s *Server) aggregateLocked() error {
+	var totalW float64
+	for _, w := range s.weights {
+		totalW += w
+	}
+	agg := tensor.NewVector(s.global.NumParams())
+	for i, d := range s.deltas {
+		agg.AddScaled(s.weights[i]/totalW, d)
+	}
+	params := s.global.Parameters()
+	params.AddScaled(1, agg)
+	if err := s.global.SetParameters(params); err != nil {
+		return err
+	}
+	s.deltas = s.deltas[:0]
+	s.weights = s.weights[:0]
+	s.round++
+	s.outstanding = 0
+	for _, ci := range s.clients {
+		if ci.taskRound >= 0 && ci.taskRound < s.round {
+			// The round moved on without this client: count it as a
+			// deadline miss so FLOAT learns from it.
+			s.cfg.Controller.Feedback(ci.taskRound, ci.dev, ci.tech,
+				device.Outcome{Completed: false, Reason: device.DropDeadline, DeadlineDiff: 0.5}, 0)
+			ci.taskRound = -1
+		}
+	}
+	if len(s.cfg.Holdout) > 0 {
+		s.holdoutAcc, _ = s.global.Evaluate(s.cfg.Holdout)
+	}
+	return nil
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	resp := StatusResponse{
+		Round:       s.round,
+		Registered:  len(s.clients),
+		HoldoutAcc:  s.holdoutAcc,
+		UpdatesSeen: s.updatesSeen,
+	}
+	s.mu.Unlock()
+	writeJSON(w, resp)
+}
+
+// Round returns the current aggregation round.
+func (s *Server) Round() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.round
+}
+
+// HoldoutAccuracy returns the last post-aggregation holdout accuracy.
+func (s *Server) HoldoutAccuracy() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.holdoutAcc
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "dist: POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf("dist: bad request: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already out; nothing more to do.
+		_ = err
+	}
+}
+
+func orDefault(x, def float64) float64 {
+	if x <= 0 {
+		return def
+	}
+	return x
+}

@@ -1,0 +1,179 @@
+package experiment
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"floatfl/internal/trace"
+)
+
+// tiny keeps the full-stack tests fast while still exercising every code
+// path of each figure.
+var tiny = Scale{
+	Clients: 16, Rounds: 6, PerRound: 5, Epochs: 1, BatchSz: 8,
+	Seed: 1, AsyncConcurrency: 8, AsyncBuffer: 3,
+}
+
+func TestTableFprint(t *testing.T) {
+	tab := Table{
+		Title:  "demo",
+		Header: []string{"a", "long-column"},
+		Rows:   [][]string{{"x", "1"}, {"longer-cell", "2"}},
+	}
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== demo ==", "a", "long-column", "longer-cell"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBasic(t *testing.T) {
+	res, err := Run(tiny, RunSpec{Dataset: "femnist", Algo: "fedavg", Scenario: trace.ScenarioDynamic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != "fedavg" {
+		t.Fatalf("algorithm %q", res.Algorithm)
+	}
+	if res.Ledger.TotalRounds != tiny.Rounds*tiny.PerRound {
+		t.Fatalf("client-rounds %d", res.Ledger.TotalRounds)
+	}
+}
+
+func TestRunUnknownAlgo(t *testing.T) {
+	if _, err := Run(tiny, RunSpec{Dataset: "femnist", Algo: "sgd"}); err == nil {
+		t.Fatal("accepted unknown algorithm")
+	}
+	if _, err := Run(tiny, RunSpec{Dataset: "mnist-3d", Algo: "fedavg"}); err == nil {
+		t.Fatal("accepted unknown dataset")
+	}
+}
+
+func TestRunAllControllers(t *testing.T) {
+	specs := []RunSpec{
+		{Dataset: "femnist", Algo: "fedavg", Float: true},
+		{Dataset: "femnist", Algo: "fedavg", Heur: true},
+		{Dataset: "femnist", Algo: "fedavg", Static: "prune50"},
+		{Dataset: "femnist", Algo: "oort"},
+		{Dataset: "femnist", Algo: "refl"},
+		{Dataset: "femnist", Algo: "fedprox"},
+		{Dataset: "femnist", Algo: "fedbuff", Float: true},
+	}
+	wantCtrl := []string{"float", "heuristic", "static-prune50", "none", "none", "none", "float"}
+	for i, spec := range specs {
+		spec.Scenario = trace.ScenarioDynamic
+		res, err := Run(tiny, spec)
+		if err != nil {
+			t.Fatalf("spec %+v: %v", spec, err)
+		}
+		if res.Controller != wantCtrl[i] {
+			t.Fatalf("spec %d controller %q, want %q", i, res.Controller, wantCtrl[i])
+		}
+	}
+}
+
+func TestFourGOnlyPopulation(t *testing.T) {
+	res, err := Run(tiny, RunSpec{
+		Dataset: "femnist", Algo: "fedavg", FourGOnly: true, Scenario: trace.ScenarioDynamic,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ledger.TotalRounds == 0 {
+		t.Fatal("4G-only run executed nothing")
+	}
+}
+
+func TestEachFigureRuns(t *testing.T) {
+	for _, name := range FigureNames() {
+		name := name
+		t.Run("fig"+name, func(t *testing.T) {
+			tables, err := ByName(name, tiny)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("figure produced no tables")
+			}
+			for _, tab := range tables {
+				if tab.Title == "" || len(tab.Header) == 0 {
+					t.Fatalf("malformed table %+v", tab)
+				}
+				if len(tab.Rows) == 0 {
+					t.Fatalf("table %q has no rows", tab.Title)
+				}
+				for _, row := range tab.Rows {
+					if len(row) != len(tab.Header) {
+						t.Fatalf("table %q row width %d, header %d", tab.Title, len(row), len(tab.Header))
+					}
+				}
+				var buf bytes.Buffer
+				tab.Fprint(&buf)
+				if buf.Len() == 0 {
+					t.Fatal("Fprint produced nothing")
+				}
+			}
+		})
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	_, err := ByName("99", tiny)
+	if err == nil {
+		t.Fatal("accepted unknown figure")
+	}
+	if !errors.Is(err, errUnknownFigure) {
+		t.Fatalf("error should wrap errUnknownFigure, got %v", err)
+	}
+}
+
+func TestFig2ShapesHold(t *testing.T) {
+	// Shape assertion from the paper: FedBuff executes more client-rounds
+	// than any synchronous algorithm (over-selection), and REFL excludes
+	// more clients than FedAvg.
+	sc := tiny
+	sc.Rounds = 10
+	tables, err := Fig2(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bias, usage := tables[0], tables[1]
+	row := func(t_ *Table, algo string) []string {
+		for _, r := range t_.Rows {
+			if r[0] == algo {
+				return r
+			}
+		}
+		return nil
+	}
+	if row(&bias, "fedavg") == nil || row(&bias, "refl") == nil || row(&usage, "fedbuff") == nil {
+		t.Fatal("expected rows missing")
+	}
+}
+
+func TestFig10QTableHasVisits(t *testing.T) {
+	tables, err := Fig10(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("Fig10 should produce 3 scenario tables, got %d", len(tables))
+	}
+	// At least one action must have been visited in each scenario.
+	for _, tab := range tables {
+		any := false
+		for _, r := range tab.Rows {
+			if r[3] != "0" {
+				any = true
+			}
+		}
+		if !any {
+			t.Fatalf("Q-table %q has no visits", tab.Title)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package experiment
+
+import (
+	"testing"
+
+	"floatfl/internal/trace"
+)
+
+// shapesScale is large enough for the paper's qualitative orderings to be
+// stable under the fixed seed, small enough for CI.
+var shapesScale = Scale{
+	Clients: 40, Rounds: 30, PerRound: 12, Epochs: 2, BatchSz: 16,
+	Seed: 42, AsyncConcurrency: 20, AsyncBuffer: 8,
+}
+
+func runShape(t *testing.T, spec RunSpec) (drops int, acc float64) {
+	t.Helper()
+	spec.Scenario = trace.ScenarioDynamic
+	if spec.DeadlinePercentile == 0 {
+		spec.DeadlinePercentile = 50
+	}
+	res, err := Run(shapesScale, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Ledger.TotalDrops, res.FinalAccStats.Average
+}
+
+// TestShapeFloatBeatsBaselineAndHeuristic is the repository's headline
+// integration assertion: on the Fig 6 workload, FLOAT drops fewer clients
+// than both plain FedAvg and the Section 4.4 heuristic, and does not lose
+// accuracy doing it.
+func TestShapeFloatBeatsBaselineAndHeuristic(t *testing.T) {
+	baseDrops, baseAcc := runShape(t, RunSpec{Dataset: "femnist", Algo: "fedavg"})
+	heurDrops, _ := runShape(t, RunSpec{Dataset: "femnist", Algo: "fedavg", Heur: true})
+	floatDrops, floatAcc := runShape(t, RunSpec{Dataset: "femnist", Algo: "fedavg", Float: true})
+
+	if floatDrops >= baseDrops {
+		t.Fatalf("FLOAT did not reduce dropouts: float=%d baseline=%d", floatDrops, baseDrops)
+	}
+	if floatDrops >= heurDrops {
+		t.Fatalf("FLOAT did not beat the heuristic on dropouts: float=%d heuristic=%d",
+			floatDrops, heurDrops)
+	}
+	if floatAcc < baseAcc-0.02 {
+		t.Fatalf("FLOAT sacrificed accuracy: float=%.3f baseline=%.3f", floatAcc, baseAcc)
+	}
+}
+
+// TestShapeFloatCutsWaste: FLOAT's completed rounds waste less of every
+// resource than the baseline's (Fig 12 bottom rows).
+func TestShapeFloatCutsWaste(t *testing.T) {
+	spec := RunSpec{Dataset: "femnist", Algo: "fedavg", Scenario: trace.ScenarioDynamic, DeadlinePercentile: 50}
+	base, err := Run(shapesScale, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Float = true
+	float, err := Run(shapesScale, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw, fw := base.Ledger.Wasted, float.Ledger.Wasted
+	if fw.ComputeHours >= bw.ComputeHours {
+		t.Fatalf("wasted compute not reduced: %.2f vs %.2f", fw.ComputeHours, bw.ComputeHours)
+	}
+	if fw.CommHours >= bw.CommHours {
+		t.Fatalf("wasted communication not reduced: %.2f vs %.2f", fw.CommHours, bw.CommHours)
+	}
+	if fw.MemoryTB >= bw.MemoryTB {
+		t.Fatalf("wasted memory not reduced: %.3f vs %.3f", fw.MemoryTB, bw.MemoryTB)
+	}
+}
+
+// TestShapeREFLMostBiased: REFL excludes more of the population than
+// FedAvg (Fig 2a's headline).
+func TestShapeREFLMostBiased(t *testing.T) {
+	run := func(algo string) float64 {
+		res, err := Run(shapesScale, RunSpec{
+			Dataset: "emnist", Algo: algo, Alpha: 0.05, Scenario: trace.ScenarioDynamic,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Ledger.SelectionGini()
+	}
+	if refl, fedavg := run("refl"), run("fedavg"); refl <= fedavg {
+		t.Fatalf("REFL should be more biased than FedAvg: gini %.3f vs %.3f", refl, fedavg)
+	}
+}
+
+// TestShapeDropoutsHurtAccuracy: the same algorithm scores lower with
+// dropouts than without (Fig 3).
+func TestShapeDropoutsHurtAccuracy(t *testing.T) {
+	nd, err := Run(shapesScale, RunSpec{
+		Dataset: "emnist", Algo: "fedavg", Alpha: 0.05,
+		Scenario: trace.ScenarioNone, DeadlinePercentile: 99.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Run(shapesScale, RunSpec{
+		Dataset: "emnist", Algo: "fedavg", Alpha: 0.05,
+		Scenario: trace.ScenarioDynamic, DeadlinePercentile: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Ledger.TotalDrops <= nd.Ledger.TotalDrops {
+		t.Fatal("dropout arm did not drop more clients")
+	}
+	if d.FinalAccStats.Average >= nd.FinalAccStats.Average {
+		t.Fatalf("dropouts did not hurt accuracy: D=%.3f ND=%.3f",
+			d.FinalAccStats.Average, nd.FinalAccStats.Average)
+	}
+}
+
+// TestShapeFedBuffTradeoff: FedBuff finishes faster than synchronous FL
+// on wall-clock but consumes more client-rounds (Fig 2b).
+func TestShapeFedBuffTradeoff(t *testing.T) {
+	syncRes, err := Run(shapesScale, RunSpec{
+		Dataset: "emnist", Algo: "fedavg", Alpha: 0.05, Scenario: trace.ScenarioDynamic,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asyncRes, err := Run(shapesScale, RunSpec{
+		Dataset: "emnist", Algo: "fedbuff", Alpha: 0.05, Scenario: trace.ScenarioDynamic,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asyncRes.WallClockSeconds >= syncRes.WallClockSeconds {
+		t.Fatalf("FedBuff should be faster on wall-clock: async=%.0fs sync=%.0fs",
+			asyncRes.WallClockSeconds, syncRes.WallClockSeconds)
+	}
+	// Over-selection: FedBuff starts strictly more client-rounds than the
+	// minimum its buffer needs (paper: up to 5× with concurrency 100 and
+	// buffer 30; the ratio scales with concurrency/buffer).
+	minimum := shapesScale.Rounds * shapesScale.AsyncBuffer
+	if asyncRes.Ledger.TotalRounds <= minimum {
+		t.Fatalf("FedBuff shows no over-selection: %d client-rounds for a %d minimum",
+			asyncRes.Ledger.TotalRounds, minimum)
+	}
+}
+
+// TestShapeSpeechEasiest: the speech workload converges to the highest
+// accuracy with the fewest dropout-driven losses (Fig 12 discussion).
+func TestShapeSpeechEasiest(t *testing.T) {
+	speech, err := Run(shapesScale, RunSpec{Dataset: "speech", Algo: "fedavg",
+		Scenario: trace.ScenarioDynamic, DeadlinePercentile: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vision, err := Run(shapesScale, RunSpec{Dataset: "cifar10", Algo: "fedavg",
+		Scenario: trace.ScenarioDynamic, DeadlinePercentile: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if speech.FinalAccStats.Average <= vision.FinalAccStats.Average {
+		t.Fatalf("speech should be the easiest workload: speech=%.3f cifar10=%.3f",
+			speech.FinalAccStats.Average, vision.FinalAccStats.Average)
+	}
+}

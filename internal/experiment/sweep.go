@@ -1,0 +1,124 @@
+package experiment
+
+import (
+	"fmt"
+
+	"floatfl/internal/metrics"
+)
+
+// SweepStats summarizes one metric across seeds.
+type SweepStats struct {
+	Mean, Std, Min, Max float64
+	N                   int
+}
+
+func newSweepStats(xs []float64) SweepStats {
+	if len(xs) == 0 {
+		return SweepStats{}
+	}
+	s := SweepStats{
+		Mean: metrics.Mean(xs),
+		Std:  metrics.Std(xs),
+		Min:  xs[0],
+		Max:  xs[0],
+		N:    len(xs),
+	}
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	return s
+}
+
+// String renders "mean ± std".
+func (s SweepStats) String() string { return fmt.Sprintf("%.3f ± %.3f", s.Mean, s.Std) }
+
+// SweepResult aggregates a run spec's headline metrics over several seeds.
+type SweepResult struct {
+	Spec  RunSpec
+	Seeds int
+
+	AvgAccuracy   SweepStats
+	Dropped       SweepStats
+	WastedCompute SweepStats // hours
+	WastedComm    SweepStats // hours
+}
+
+// Sweep runs the spec across `seeds` independent seeds (data, population,
+// and agent all reseeded) and returns mean ± std for the headline metrics.
+// The figures in the paper are single runs; sweeps quantify how much of a
+// measured gap is seed noise.
+func Sweep(sc Scale, spec RunSpec, seeds int) (*SweepResult, error) {
+	if seeds <= 0 {
+		return nil, fmt.Errorf("experiment: Sweep needs a positive seed count, got %d", seeds)
+	}
+	var accs, drops, wastedC, wastedM []float64
+	for i := 0; i < seeds; i++ {
+		s := spec
+		s.SeedOffset = spec.SeedOffset + int64(i)*7919
+		res, err := Run(sc, s)
+		if err != nil {
+			return nil, err
+		}
+		accs = append(accs, res.FinalAccStats.Average)
+		drops = append(drops, float64(res.Ledger.TotalDrops))
+		wastedC = append(wastedC, res.Ledger.Wasted.ComputeHours)
+		wastedM = append(wastedM, res.Ledger.Wasted.CommHours)
+	}
+	return &SweepResult{
+		Spec:          spec,
+		Seeds:         seeds,
+		AvgAccuracy:   newSweepStats(accs),
+		Dropped:       newSweepStats(drops),
+		WastedCompute: newSweepStats(wastedC),
+		WastedComm:    newSweepStats(wastedM),
+	}, nil
+}
+
+// SweepCompare runs two specs over the same seeds and reports both plus
+// the per-seed win rate of A over B on dropouts (lower is better) — a
+// paired comparison that cancels most seed noise.
+func SweepCompare(sc Scale, a, b RunSpec, seeds int) (resA, resB *SweepResult, aWinRate float64, err error) {
+	if seeds <= 0 {
+		return nil, nil, 0, fmt.Errorf("experiment: SweepCompare needs a positive seed count")
+	}
+	var accsA, dropsA, wcA, wmA []float64
+	var accsB, dropsB, wcB, wmB []float64
+	wins := 0
+	for i := 0; i < seeds; i++ {
+		off := int64(i) * 7919
+		sa, sb := a, b
+		sa.SeedOffset += off
+		sb.SeedOffset += off
+		ra, err := Run(sc, sa)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		rb, err := Run(sc, sb)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		accsA = append(accsA, ra.FinalAccStats.Average)
+		dropsA = append(dropsA, float64(ra.Ledger.TotalDrops))
+		wcA = append(wcA, ra.Ledger.Wasted.ComputeHours)
+		wmA = append(wmA, ra.Ledger.Wasted.CommHours)
+		accsB = append(accsB, rb.FinalAccStats.Average)
+		dropsB = append(dropsB, float64(rb.Ledger.TotalDrops))
+		wcB = append(wcB, rb.Ledger.Wasted.ComputeHours)
+		wmB = append(wmB, rb.Ledger.Wasted.CommHours)
+		if ra.Ledger.TotalDrops < rb.Ledger.TotalDrops {
+			wins++
+		}
+	}
+	resA = &SweepResult{Spec: a, Seeds: seeds,
+		AvgAccuracy: newSweepStats(accsA), Dropped: newSweepStats(dropsA),
+		WastedCompute: newSweepStats(wcA), WastedComm: newSweepStats(wmA)}
+	resB = &SweepResult{Spec: b, Seeds: seeds,
+		AvgAccuracy: newSweepStats(accsB), Dropped: newSweepStats(dropsB),
+		WastedCompute: newSweepStats(wcB), WastedComm: newSweepStats(wmB)}
+	return resA, resB, float64(wins) / float64(seeds), nil
+}

@@ -1,0 +1,223 @@
+package fl
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"floatfl/internal/data"
+	"floatfl/internal/device"
+	"floatfl/internal/metrics"
+	"floatfl/internal/nn"
+	"floatfl/internal/opt"
+	"floatfl/internal/tensor"
+)
+
+// asyncTask is one in-flight client execution in the FedBuff simulation.
+type asyncTask struct {
+	clientID     int
+	startVersion int
+	finishAt     float64
+	outcome      device.Outcome
+	tech         opt.Technique
+}
+
+type taskHeap []asyncTask
+
+func (h taskHeap) Len() int            { return len(h) }
+func (h taskHeap) Less(i, j int) bool  { return h[i].finishAt < h[j].finishAt }
+func (h taskHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x interface{}) { *h = append(*h, x.(asyncTask)) }
+func (h *taskHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// RunAsync executes FedBuff: Concurrency clients train simultaneously and
+// asynchronously against the model version they started from; completed
+// updates enter a buffer and every BufferK arrivals are aggregated with
+// staleness-discounted weights. FedBuff has no hard round deadline — tasks
+// run until a generous timeout — which is why it tolerates dropouts but
+// burns far more resources than synchronous FL (Fig 2b, Fig 12).
+func RunAsync(fed *data.Federation, pop []*device.Client, ctrl Controller, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(fed.Train) != len(pop) {
+		return nil, fmt.Errorf("fl: federation has %d clients, population has %d",
+			len(fed.Train), len(pop))
+	}
+	spec, err := nn.LookupSpec(cfg.Arch)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	global, err := nn.NewModel(cfg.Arch, fed.Profile.Dim, fed.Profile.Classes, rng)
+	if err != nil {
+		return nil, err
+	}
+	scratch := global.Clone()
+
+	meanShard := 0
+	for _, s := range fed.Train {
+		meanShard += len(s)
+	}
+	meanShard /= len(fed.Train)
+	refWork := workSpecFor(spec, meanShard, cfg.Epochs)
+
+	// FedBuff is lenient: the per-task timeout is twice the synchronous
+	// auto deadline (explicit DeadlineSec overrides).
+	timeout := cfg.DeadlineSec
+	if timeout <= 0 {
+		timeout = 2 * AutoDeadline(pop, refWork, cfg.DeadlinePercentile)
+	}
+	// Traces advance one step per timeout interval of virtual time.
+	stepSec := timeout
+	stepOf := func(now float64) int { return int(now / stepSec) }
+
+	res := &Result{
+		Algorithm:   "fedbuff",
+		Controller:  ctrl.Name(),
+		Ledger:      metrics.NewLedger(len(pop)),
+		DeadlineSec: timeout,
+	}
+	hfDiff := make([]float64, len(pop))
+
+	// Version-indexed snapshots of global parameters for stale training.
+	versions := map[int]tensor.Vector{0: global.Parameters()}
+	version := 0
+
+	inFlight := make(map[int]bool, cfg.Concurrency)
+	var tasks taskHeap
+	heap.Init(&tasks)
+	now := 0.0
+
+	var bufDeltas []tensor.Vector
+	var bufWeights []float64
+
+	launch := func() error {
+		step0 := stepOf(now)
+		eligible := make([]int, 0, len(pop))
+		for _, c := range pop {
+			if !inFlight[c.ID] && c.ResourcesAt(step0).Available {
+				eligible = append(eligible, c.ID)
+			}
+		}
+		rng.Shuffle(len(eligible), func(i, j int) { eligible[i], eligible[j] = eligible[j], eligible[i] })
+		for len(inFlight) < cfg.Concurrency && len(eligible) > 0 {
+			id := eligible[0]
+			eligible = eligible[1:]
+			c := pop[id]
+			step := stepOf(now)
+			snap := c.ResourcesAt(step)
+			tech := ctrl.Decide(version, c, snap, hfDiff[id])
+			work := workSpecFor(spec, len(fed.Train[id]), cfg.Epochs)
+			out, err := device.Execute(c, step, work, tech, timeout)
+			if err != nil {
+				return err
+			}
+			dur := out.Cost.TotalSeconds
+			if dur <= 0 {
+				dur = 1 // unavailability is detected after a short ping
+			}
+			inFlight[id] = true
+			heap.Push(&tasks, asyncTask{
+				clientID:     id,
+				startVersion: version,
+				finishAt:     now + dur,
+				outcome:      out,
+				tech:         tech,
+			})
+		}
+		return nil
+	}
+
+	aggregations := 0
+	evalCountdown := cfg.EvalEvery
+	for aggregations < cfg.Rounds {
+		if err := launch(); err != nil {
+			return nil, err
+		}
+		if tasks.Len() == 0 {
+			return nil, fmt.Errorf("fl: FedBuff deadlocked with no in-flight tasks")
+		}
+		task := heap.Pop(&tasks).(asyncTask)
+		now = task.finishAt
+		delete(inFlight, task.clientID)
+
+		out := task.outcome
+		if out.Reason == device.DropDeadline {
+			hfDiff[task.clientID] = out.DeadlineDiff
+		} else if out.Completed {
+			hfDiff[task.clientID] = 0
+		}
+
+		var accImprove float64
+		startParams, haveVersion := versions[task.startVersion]
+		staleness := version - task.startVersion
+		tooStale := !haveVersion || staleness > cfg.StalenessCap
+		if out.Completed && tooStale {
+			// The update arrived but its base version is ancient: FedBuff
+			// discards it, so every resource it consumed is waste.
+			res.Ledger.RecordDiscarded(task.clientID, task.tech, out)
+		} else {
+			res.Ledger.Record(task.clientID, task.tech, out)
+		}
+		if out.Completed && !tooStale {
+			if err := scratch.SetParameters(startParams); err != nil {
+				return nil, err
+			}
+			lt, err := trainLocal(scratch, fed.Train[task.clientID],
+				fed.LocalTest[task.clientID], task.tech, cfg, version, task.clientID, rng)
+			if err != nil {
+				return nil, err
+			}
+			accImprove = lt.accImprove
+			// FedBuff's staleness discount.
+			w := lt.weight / math.Sqrt(1+float64(staleness))
+			bufDeltas = append(bufDeltas, lt.delta)
+			bufWeights = append(bufWeights, w)
+		}
+		ctrl.Feedback(version, pop[task.clientID], task.tech, out, accImprove)
+		cfg.Logger.LogClientRound(clientRoundLog(version, task.clientID, task.tech, out, accImprove))
+
+		if len(bufDeltas) >= cfg.BufferK {
+			if err := applyAggregate(global, bufDeltas, bufWeights); err != nil {
+				return nil, err
+			}
+			bufDeltas = bufDeltas[:0]
+			bufWeights = bufWeights[:0]
+			version++
+			versions[version] = global.Parameters()
+			delete(versions, version-cfg.StalenessCap-1)
+			aggregations++
+			evalCountdown--
+			if evalCountdown <= 0 || aggregations == cfg.Rounds {
+				acc, _ := global.Evaluate(fed.GlobalTest)
+				res.GlobalAccHistory = append(res.GlobalAccHistory, acc)
+				res.EvalRounds = append(res.EvalRounds, aggregations)
+				evalCountdown = cfg.EvalEvery
+			}
+		}
+	}
+
+	// FedBuff's over-selection bill: every task still in flight when the
+	// target aggregation count is reached consumed resources that never
+	// reach the model (Fig 2b / Fig 12's FedBuff inefficiency).
+	for tasks.Len() > 0 {
+		task := heap.Pop(&tasks).(asyncTask)
+		res.Ledger.RecordDiscarded(task.clientID, task.tech, task.outcome)
+	}
+
+	res.WallClockSeconds = now
+	res.Ledger.WallClockSeconds = now
+	res.FinalClientAccs = evaluateClients(global, fed)
+	res.FinalAccStats = metrics.ComputeAccuracyStats(res.FinalClientAccs)
+	res.FinalGlobalAcc, _ = global.Evaluate(fed.GlobalTest)
+	return res, nil
+}

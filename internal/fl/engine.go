@@ -1,0 +1,315 @@
+// Package fl implements the federated-learning engines the paper
+// evaluates: a synchronous round-based engine (FedAvg-style, used with the
+// Random/Oort/REFL selectors) and an asynchronous buffered engine
+// (FedBuff). Both train real models on the synthetic federation while a
+// device cost model decides which clients drop out, and both delegate
+// per-client acceleration decisions to a Controller — the hook FLOAT (or a
+// heuristic, or a static technique) plugs into, which is exactly the
+// paper's "non-intrusive integration" property.
+package fl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"floatfl/internal/data"
+	"floatfl/internal/device"
+	"floatfl/internal/metrics"
+	"floatfl/internal/nn"
+	"floatfl/internal/opt"
+	"floatfl/internal/tensor"
+)
+
+// Controller decides, per selected client and round, which acceleration
+// technique to apply, and receives feedback after execution. Controllers
+// must be safe for sequential use only (the engines are single-threaded
+// discrete-event simulators).
+type Controller interface {
+	Name() string
+	// Decide picks a technique given the client's resource snapshot and
+	// the most recent human-feedback deadline difference for this client
+	// (0 when the client has no missed-deadline history).
+	Decide(round int, c *device.Client, res device.Resources, hfDeadlineDiff float64) opt.Technique
+	// Feedback reports the executed outcome plus the client's accuracy
+	// improvement (post-round local accuracy minus pre-round, may be
+	// negative).
+	Feedback(round int, c *device.Client, tech opt.Technique, out device.Outcome, accImprove float64)
+}
+
+// NoOpController always chooses TechNone — the unmodified baselines.
+type NoOpController struct{}
+
+// Name implements Controller.
+func (NoOpController) Name() string { return "none" }
+
+// Decide implements Controller.
+func (NoOpController) Decide(int, *device.Client, device.Resources, float64) opt.Technique {
+	return opt.TechNone
+}
+
+// Feedback implements Controller.
+func (NoOpController) Feedback(int, *device.Client, opt.Technique, device.Outcome, float64) {}
+
+// StaticController always applies one fixed technique — the paper's
+// "static optimizations" strawman (Fig 5).
+type StaticController struct{ Tech opt.Technique }
+
+// Name implements Controller.
+func (s StaticController) Name() string { return "static-" + s.Tech.String() }
+
+// Decide implements Controller.
+func (s StaticController) Decide(int, *device.Client, device.Resources, float64) opt.Technique {
+	return s.Tech
+}
+
+// Feedback implements Controller.
+func (s StaticController) Feedback(int, *device.Client, opt.Technique, device.Outcome, float64) {}
+
+// Config parameterizes a training run.
+type Config struct {
+	Arch            string
+	Rounds          int
+	ClientsPerRound int
+	Epochs          int
+	BatchSize       int
+	LR              float64
+	GradClip        float64
+	// DeadlineSec is the synchronous round deadline. Zero auto-derives it
+	// from the population (see DeadlinePercentile).
+	DeadlineSec float64
+	// DeadlinePercentile picks the auto deadline as this percentile of the
+	// population's estimated unoptimized response time (default 60).
+	DeadlinePercentile float64
+	// EvalEvery evaluates the global model each N rounds (default 10).
+	EvalEvery int
+	Seed      int64
+
+	// Async (FedBuff) knobs.
+	// Concurrency is the number of clients training simultaneously
+	// (default 100 in the paper's FedBuff setup).
+	Concurrency int
+	// BufferK aggregates once this many updates arrive (default 30).
+	BufferK int
+	// StalenessCap discards updates older than this many versions
+	// (default 20).
+	StalenessCap int
+
+	// Logger receives structured per-client-round and per-round events
+	// (nil discards them).
+	Logger RoundLogger
+
+	// ProxMu enables FedProx's proximal term during local training
+	// (0 = plain FedAvg local SGD).
+	ProxMu float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epochs <= 0 {
+		c.Epochs = 5
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 20
+	}
+	if c.LR <= 0 {
+		c.LR = 0.05
+	}
+	if c.GradClip <= 0 {
+		c.GradClip = 5
+	}
+	if c.DeadlinePercentile <= 0 {
+		c.DeadlinePercentile = 60
+	}
+	if c.EvalEvery <= 0 {
+		c.EvalEvery = 10
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 100
+	}
+	if c.BufferK <= 0 {
+		c.BufferK = 30
+	}
+	if c.StalenessCap <= 0 {
+		c.StalenessCap = 20
+	}
+	if c.Logger == nil {
+		c.Logger = NopLogger{}
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Rounds <= 0 {
+		return fmt.Errorf("fl: Rounds must be positive, got %d", c.Rounds)
+	}
+	if c.ClientsPerRound <= 0 {
+		return fmt.Errorf("fl: ClientsPerRound must be positive, got %d", c.ClientsPerRound)
+	}
+	if c.Arch == "" {
+		return fmt.Errorf("fl: Arch is required")
+	}
+	return nil
+}
+
+// Result is the outcome of a complete training run.
+type Result struct {
+	Algorithm  string
+	Controller string
+
+	Ledger *metrics.Ledger
+
+	// GlobalAccHistory[i] is the global-model accuracy on the balanced
+	// holdout at EvalRounds[i].
+	GlobalAccHistory []float64
+	EvalRounds       []int
+
+	// FinalClientAccs holds the final global model's accuracy on each
+	// client's local (non-IID) test split; FinalAccStats summarizes it.
+	FinalClientAccs []float64
+	FinalAccStats   metrics.AccuracyStats
+	FinalGlobalAcc  float64
+
+	WallClockSeconds float64
+	DeadlineSec      float64
+}
+
+// AutoDeadline derives the synchronous round deadline as a percentile of
+// the population's *clean* (interference-free) response-time estimates,
+// padded with 50% slack. Budgeting against the clean baseline mirrors how
+// deployments pick deadlines: generous for healthy devices, so runtime
+// dropouts are caused by interference and resource dips — the regime where
+// adaptive acceleration pays off.
+func AutoDeadline(pop []*device.Client, w device.WorkSpec, percentile float64) float64 {
+	ests := make([]float64, 0, len(pop))
+	for _, c := range pop {
+		ests = append(ests, device.EstimateCleanResponseSeconds(c, w))
+	}
+	d := metrics.Percentile(ests, percentile) * 1.5
+	if d <= 0 {
+		d = 60
+	}
+	return d
+}
+
+// workSpecFor builds the client-round work spec from the architecture's
+// reference scale and the client's shard size.
+func workSpecFor(spec nn.Spec, samples, epochs int) device.WorkSpec {
+	if samples <= 0 {
+		samples = 1
+	}
+	return device.WorkSpec{
+		RefFLOPsPerSample: spec.RefFLOPs,
+		RefParams:         spec.RefParams,
+		Samples:           samples,
+		Epochs:            epochs,
+	}
+}
+
+// localTrainResult is what a completed client round produces.
+type localTrainResult struct {
+	delta       tensor.Vector
+	weight      float64
+	statUtility float64
+	accImprove  float64
+}
+
+// trainLocal clones the global model, runs local SGD under the technique's
+// semantic effects (frozen layers / pruned + quantized update), and
+// returns the transformed delta plus the reward signals.
+func trainLocal(global *nn.Model, shard, localTest []nn.Sample, tech opt.Technique,
+	cfg Config, round, clientID int, rng *rand.Rand) (localTrainResult, error) {
+
+	var res localTrainResult
+	local := global.Clone()
+	eff := tech.Effects()
+
+	accBefore, _ := local.Evaluate(localTest)
+	tc := nn.TrainConfig{
+		Epochs:       cfg.Epochs,
+		BatchSize:    cfg.BatchSize,
+		LR:           cfg.LR,
+		GradClip:     cfg.GradClip,
+		FrozenLayers: opt.FrozenLayerMask(len(local.Layers), eff.PartialFrac),
+		Seed:         cfg.Seed*1_000_003 + int64(round)*10_007 + int64(clientID),
+	}
+	if cfg.ProxMu > 0 {
+		tc.ProxMu = cfg.ProxMu
+		tc.ProxAnchor = global.Parameters()
+	}
+	loss, err := local.Train(shard, tc)
+	if err != nil {
+		return res, err
+	}
+
+	before := global.Parameters()
+	after := local.Parameters()
+	delta := after
+	delta.AddScaled(-1, before)
+	opt.ApplyToUpdate(tech, delta, rng)
+
+	// Accuracy improvement the client would see if it adopted its own
+	// (transformed) update — the Acc_i reward component.
+	applied := before.Clone()
+	applied.AddScaled(1, delta)
+	if err := local.SetParameters(applied); err != nil {
+		return res, err
+	}
+	accAfter, _ := local.Evaluate(localTest)
+
+	res.delta = delta
+	res.weight = float64(len(shard))
+	// Oort's statistical utility: |B| × sqrt(mean squared loss); the final
+	// epoch loss is the available proxy.
+	res.statUtility = float64(len(shard)) * math.Sqrt(loss*loss)
+	res.accImprove = accAfter - accBefore
+	return res, nil
+}
+
+// applyAggregate adds the weighted mean of deltas into the global model.
+// Non-finite deltas (a diverged or malicious client) are discarded rather
+// than allowed to poison the global model.
+func applyAggregate(global *nn.Model, deltas []tensor.Vector, weights []float64) error {
+	if len(deltas) == 0 {
+		return nil
+	}
+	var totalW float64
+	kept := deltas[:0]
+	keptW := weights[:0]
+	for i, d := range deltas {
+		if !isFinite(d) || weights[i] <= 0 {
+			continue
+		}
+		kept = append(kept, d)
+		keptW = append(keptW, weights[i])
+		totalW += weights[i]
+	}
+	if totalW <= 0 {
+		return nil
+	}
+	agg := tensor.NewVector(global.NumParams())
+	for i, d := range kept {
+		agg.AddScaled(keptW[i]/totalW, d)
+	}
+	params := global.Parameters()
+	params.AddScaled(1, agg)
+	return global.SetParameters(params)
+}
+
+func isFinite(v tensor.Vector) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// evaluateClients returns the model's accuracy on every client's local
+// test split.
+func evaluateClients(m *nn.Model, fed *data.Federation) []float64 {
+	accs := make([]float64, len(fed.LocalTest))
+	for i, ts := range fed.LocalTest {
+		accs[i], _ = m.Evaluate(ts)
+	}
+	return accs
+}

@@ -1,0 +1,126 @@
+package fl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"floatfl/internal/device"
+	"floatfl/internal/opt"
+)
+
+// ClientRoundLog is one structured per-client-round record — the analog of
+// the artifact's `<dataset>_logging` output, which the paper's A.4.1
+// evaluation workflow reads "at the granularity of per round".
+type ClientRoundLog struct {
+	Round     int    `json:"round"`
+	ClientID  int    `json:"client_id"`
+	Technique string `json:"technique"`
+	Completed bool   `json:"completed"`
+	Reason    string `json:"drop_reason,omitempty"`
+	// Resource snapshot at execution time.
+	CPUFrac       float64 `json:"cpu_frac"`
+	MemFrac       float64 `json:"mem_frac"`
+	NetFrac       float64 `json:"net_frac"`
+	BandwidthMbps float64 `json:"bandwidth_mbps"`
+	Battery       float64 `json:"battery"`
+	// Costs actually incurred.
+	ComputeSeconds float64 `json:"compute_s"`
+	CommSeconds    float64 `json:"comm_s"`
+	UploadBytes    float64 `json:"upload_bytes"`
+	DownloadBytes  float64 `json:"download_bytes"`
+	MemoryBytes    float64 `json:"memory_bytes"`
+	DeadlineDiff   float64 `json:"deadline_diff,omitempty"`
+	AccImprove     float64 `json:"acc_improve"`
+}
+
+// RoundSummaryLog is one per-round aggregate record.
+type RoundSummaryLog struct {
+	Round       int     `json:"round"`
+	Selected    int     `json:"selected"`
+	Completed   int     `json:"completed"`
+	Dropped     int     `json:"dropped"`
+	WallSeconds float64 `json:"wall_s"`
+	GlobalAcc   float64 `json:"global_acc,omitempty"`
+}
+
+// RoundLogger receives structured training events. Implementations must
+// tolerate being called once per client-round (hot path); the JSONL logger
+// buffers through its writer.
+type RoundLogger interface {
+	LogClientRound(ClientRoundLog)
+	LogRoundSummary(RoundSummaryLog)
+}
+
+// NopLogger discards all events.
+type NopLogger struct{}
+
+// LogClientRound implements RoundLogger.
+func (NopLogger) LogClientRound(ClientRoundLog) {}
+
+// LogRoundSummary implements RoundLogger.
+func (NopLogger) LogRoundSummary(RoundSummaryLog) {}
+
+// JSONLLogger writes one JSON object per line, tagged with a record type.
+type JSONLLogger struct {
+	w   io.Writer
+	err error
+}
+
+// NewJSONLLogger wraps w; callers own w's lifecycle.
+func NewJSONLLogger(w io.Writer) *JSONLLogger { return &JSONLLogger{w: w} }
+
+// Err returns the first write error encountered, if any.
+func (l *JSONLLogger) Err() error { return l.err }
+
+type taggedRecord struct {
+	Type string      `json:"type"`
+	Data interface{} `json:"data"`
+}
+
+func (l *JSONLLogger) emit(typ string, data interface{}) {
+	if l.err != nil {
+		return
+	}
+	b, err := json.Marshal(taggedRecord{Type: typ, Data: data})
+	if err != nil {
+		l.err = fmt.Errorf("fl: marshaling %s log: %w", typ, err)
+		return
+	}
+	b = append(b, '\n')
+	if _, err := l.w.Write(b); err != nil {
+		l.err = fmt.Errorf("fl: writing %s log: %w", typ, err)
+	}
+}
+
+// LogClientRound implements RoundLogger.
+func (l *JSONLLogger) LogClientRound(rec ClientRoundLog) { l.emit("client_round", rec) }
+
+// LogRoundSummary implements RoundLogger.
+func (l *JSONLLogger) LogRoundSummary(rec RoundSummaryLog) { l.emit("round_summary", rec) }
+
+// clientRoundLog builds the per-client record from an execution outcome.
+func clientRoundLog(round, clientID int, tech opt.Technique, out device.Outcome, accImprove float64) ClientRoundLog {
+	rec := ClientRoundLog{
+		Round:          round,
+		ClientID:       clientID,
+		Technique:      tech.String(),
+		Completed:      out.Completed,
+		CPUFrac:        out.Resources.CPUFrac,
+		MemFrac:        out.Resources.MemFrac,
+		NetFrac:        out.Resources.NetFrac,
+		BandwidthMbps:  out.Resources.BandwidthMbps,
+		Battery:        out.Resources.Battery,
+		ComputeSeconds: out.Cost.ComputeSeconds,
+		CommSeconds:    out.Cost.CommSeconds,
+		UploadBytes:    out.Cost.UploadBytes,
+		DownloadBytes:  out.Cost.DownloadBytes,
+		MemoryBytes:    out.Cost.MemoryBytes,
+		DeadlineDiff:   out.DeadlineDiff,
+		AccImprove:     accImprove,
+	}
+	if !out.Completed {
+		rec.Reason = out.Reason.String()
+	}
+	return rec
+}

@@ -1,0 +1,151 @@
+package fl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"floatfl/internal/data"
+	"floatfl/internal/device"
+	"floatfl/internal/metrics"
+	"floatfl/internal/nn"
+	"floatfl/internal/selection"
+	"floatfl/internal/tensor"
+)
+
+// RunSync executes synchronous federated training: each round the selector
+// picks ClientsPerRound clients, every selected client trains locally under
+// the controller's chosen technique, completions are FedAvg-aggregated, and
+// the round's wall clock is the slowest participant (or the deadline when
+// anyone timed out). This is the engine behind FedAvg, Oort, and REFL runs,
+// with or without FLOAT.
+func RunSync(fed *data.Federation, pop []*device.Client, sel selection.Selector,
+	ctrl Controller, cfg Config) (*Result, error) {
+
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(fed.Train) != len(pop) {
+		return nil, fmt.Errorf("fl: federation has %d clients, population has %d",
+			len(fed.Train), len(pop))
+	}
+	spec, err := nn.LookupSpec(cfg.Arch)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	global, err := nn.NewModel(cfg.Arch, fed.Profile.Dim, fed.Profile.Classes, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	meanShard := 0
+	for _, s := range fed.Train {
+		meanShard += len(s)
+	}
+	meanShard /= len(fed.Train)
+	refWork := workSpecFor(spec, meanShard, cfg.Epochs)
+
+	deadline := cfg.DeadlineSec
+	if deadline <= 0 {
+		deadline = AutoDeadline(pop, refWork, cfg.DeadlinePercentile)
+	}
+
+	res := &Result{
+		Algorithm:   sel.Name(),
+		Controller:  ctrl.Name(),
+		Ledger:      metrics.NewLedger(len(pop)),
+		DeadlineSec: deadline,
+	}
+	// hfDiff tracks the latest deadline-difference human feedback per client.
+	hfDiff := make([]float64, len(pop))
+
+	for round := 0; round < cfg.Rounds; round++ {
+		info := selection.RoundInfo{Round: round, Work: refWork, DeadlineSec: deadline}
+		// Real FL servers dispatch only to clients that checked in: filter
+		// the pool to currently-available devices. Clients can still drop
+		// out mid-round if they go offline after selection.
+		checkedIn := make([]*device.Client, 0, len(pop))
+		for _, c := range pop {
+			if c.ResourcesAt(round).Available {
+				checkedIn = append(checkedIn, c)
+			}
+		}
+		if len(checkedIn) == 0 {
+			continue
+		}
+		ids := sel.Select(info, checkedIn, cfg.ClientsPerRound)
+
+		var deltas []tensor.Vector
+		var weights []float64
+		var roundWall float64
+		anyTimeout := false
+
+		for _, id := range ids {
+			c := pop[id]
+			shard := fed.Train[id]
+			work := workSpecFor(spec, len(shard), cfg.Epochs)
+			resSnap := c.ResourcesAt(round)
+			tech := ctrl.Decide(round, c, resSnap, hfDiff[id])
+
+			out, err := device.Execute(c, round, work, tech, deadline)
+			if err != nil {
+				return nil, err
+			}
+			res.Ledger.Record(id, tech, out)
+			if out.Reason == device.DropDeadline {
+				anyTimeout = true
+				hfDiff[id] = out.DeadlineDiff
+			} else if out.Completed {
+				hfDiff[id] = 0
+			}
+
+			var statUtil, accImprove float64
+			if out.Completed {
+				lt, err := trainLocal(global, shard, fed.LocalTest[id], tech, cfg, round, id, rng)
+				if err != nil {
+					return nil, err
+				}
+				deltas = append(deltas, lt.delta)
+				weights = append(weights, lt.weight)
+				statUtil = lt.statUtility
+				accImprove = lt.accImprove
+				if out.Cost.TotalSeconds > roundWall {
+					roundWall = out.Cost.TotalSeconds
+				}
+			}
+			sel.Observe(selection.Feedback{ClientID: id, Round: round, Outcome: out, StatUtility: statUtil})
+			ctrl.Feedback(round, c, tech, out, accImprove)
+			cfg.Logger.LogClientRound(clientRoundLog(round, id, tech, out, accImprove))
+		}
+
+		if err := applyAggregate(global, deltas, weights); err != nil {
+			return nil, err
+		}
+		if anyTimeout {
+			roundWall = deadline
+		}
+		res.Ledger.WallClockSeconds += roundWall
+		res.WallClockSeconds += roundWall
+
+		summary := RoundSummaryLog{
+			Round:       round,
+			Selected:    len(ids),
+			Completed:   len(deltas),
+			Dropped:     len(ids) - len(deltas),
+			WallSeconds: roundWall,
+		}
+		if (round+1)%cfg.EvalEvery == 0 || round == cfg.Rounds-1 {
+			acc, _ := global.Evaluate(fed.GlobalTest)
+			res.GlobalAccHistory = append(res.GlobalAccHistory, acc)
+			res.EvalRounds = append(res.EvalRounds, round+1)
+			summary.GlobalAcc = acc
+		}
+		cfg.Logger.LogRoundSummary(summary)
+	}
+
+	res.FinalClientAccs = evaluateClients(global, fed)
+	res.FinalAccStats = metrics.ComputeAccuracyStats(res.FinalClientAccs)
+	res.FinalGlobalAcc, _ = global.Evaluate(fed.GlobalTest)
+	return res, nil
+}

@@ -1,0 +1,201 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"floatfl/internal/tensor"
+)
+
+// Layer is the interface every trainable layer implements; Model composes
+// a pipeline of Layers. Dense and Conv1D are the built-in implementations.
+type Layer interface {
+	// Forward runs the layer; the returned slice is owned by the layer and
+	// overwritten on the next call.
+	Forward(x tensor.Vector) tensor.Vector
+	// Backward consumes dL/dOut (which it may modify), accumulates
+	// parameter gradients, and returns dL/dIn.
+	Backward(grad tensor.Vector) tensor.Vector
+	// ZeroGrad clears accumulated gradients.
+	ZeroGrad()
+	// ApplySGD steps the parameters against the accumulated gradients.
+	ApplySGD(lr, clip float64)
+	// NumParams counts trainable scalars.
+	NumParams() int
+	// Params returns views of the parameter storage, in a stable order
+	// matched 1:1 by Grads.
+	Params() []tensor.Vector
+	// Grads returns views of the gradient accumulators.
+	Grads() []tensor.Vector
+	// OutDim is the output vector length.
+	OutDim() int
+}
+
+var (
+	_ Layer = (*Dense)(nil)
+	_ Layer = (*Conv1D)(nil)
+)
+
+// Conv1D is a one-dimensional convolution over a single-channel signal:
+// the input vector is treated as a length-W sequence, convolved with
+// Filters kernels of size Kernel (stride 1, valid padding), producing a
+// flattened Filters×(W-Kernel+1) output with optional ReLU. It is the
+// convolutional front-end for the "convnet" architecture — the structural
+// analog of the paper's CNN models.
+type Conv1D struct {
+	Filters int
+	Kernel  int
+	Act     Activation
+
+	// W holds the kernels row-major: W.Row(f) is filter f's taps.
+	W *tensor.Matrix
+	B tensor.Vector
+
+	GradW *tensor.Matrix
+	GradB tensor.Vector
+
+	inWidth int
+	in      tensor.Vector
+	preAct  tensor.Vector
+	out     tensor.Vector
+}
+
+// NewConv1D builds a convolution layer for inputs of length inWidth.
+func NewConv1D(inWidth, filters, kernel int, act Activation, rng *rand.Rand) *Conv1D {
+	if kernel <= 0 || filters <= 0 || inWidth < kernel {
+		panic(fmt.Sprintf("nn: invalid Conv1D shape inWidth=%d filters=%d kernel=%d",
+			inWidth, filters, kernel))
+	}
+	c := &Conv1D{
+		Filters: filters,
+		Kernel:  kernel,
+		Act:     act,
+		W:       tensor.NewMatrix(filters, kernel),
+		B:       tensor.NewVector(filters),
+		GradW:   tensor.NewMatrix(filters, kernel),
+		GradB:   tensor.NewVector(filters),
+		inWidth: inWidth,
+	}
+	tensor.XavierInto(c.W.Data, kernel, filters, rng)
+	outW := c.outWidth()
+	c.preAct = tensor.NewVector(filters * outW)
+	c.out = tensor.NewVector(filters * outW)
+	return c
+}
+
+func (c *Conv1D) outWidth() int { return c.inWidth - c.Kernel + 1 }
+
+// OutDim implements Layer.
+func (c *Conv1D) OutDim() int { return c.Filters * c.outWidth() }
+
+// InDim returns the expected input length.
+func (c *Conv1D) InDim() int { return c.inWidth }
+
+// NumParams implements Layer.
+func (c *Conv1D) NumParams() int { return len(c.W.Data) + len(c.B) }
+
+// Params implements Layer.
+func (c *Conv1D) Params() []tensor.Vector { return []tensor.Vector{c.W.Data, c.B} }
+
+// Grads implements Layer.
+func (c *Conv1D) Grads() []tensor.Vector { return []tensor.Vector{c.GradW.Data, c.GradB} }
+
+// Forward implements Layer.
+func (c *Conv1D) Forward(x tensor.Vector) tensor.Vector {
+	if len(x) != c.inWidth {
+		panic(fmt.Sprintf("nn: Conv1D.Forward input %d, want %d", len(x), c.inWidth))
+	}
+	c.in = x
+	outW := c.outWidth()
+	for f := 0; f < c.Filters; f++ {
+		taps := c.W.Row(f)
+		bias := c.B[f]
+		base := f * outW
+		for p := 0; p < outW; p++ {
+			var s float64
+			for k, w := range taps {
+				s += w * x[p+k]
+			}
+			c.preAct[base+p] = s + bias
+		}
+	}
+	switch c.Act {
+	case ActReLU:
+		for i, v := range c.preAct {
+			if v > 0 {
+				c.out[i] = v
+			} else {
+				c.out[i] = 0
+			}
+		}
+	default:
+		copy(c.out, c.preAct)
+	}
+	return c.out
+}
+
+// Backward implements Layer.
+func (c *Conv1D) Backward(grad tensor.Vector) tensor.Vector {
+	outW := c.outWidth()
+	if len(grad) != c.Filters*outW {
+		panic(fmt.Sprintf("nn: Conv1D.Backward grad %d, want %d", len(grad), c.Filters*outW))
+	}
+	if c.Act == ActReLU {
+		for i := range grad {
+			if c.preAct[i] <= 0 {
+				grad[i] = 0
+			}
+		}
+	}
+	gradIn := tensor.NewVector(c.inWidth)
+	for f := 0; f < c.Filters; f++ {
+		taps := c.W.Row(f)
+		gtaps := c.GradW.Row(f)
+		base := f * outW
+		for p := 0; p < outW; p++ {
+			g := grad[base+p]
+			if g == 0 {
+				continue
+			}
+			c.GradB[f] += g
+			for k := 0; k < c.Kernel; k++ {
+				gtaps[k] += g * c.in[p+k]
+				gradIn[p+k] += g * taps[k]
+			}
+		}
+	}
+	return gradIn
+}
+
+// ZeroGrad implements Layer.
+func (c *Conv1D) ZeroGrad() {
+	c.GradW.Data.Zero()
+	c.GradB.Zero()
+}
+
+// ApplySGD implements Layer.
+func (c *Conv1D) ApplySGD(lr, clip float64) {
+	if clip > 0 {
+		c.GradW.Data.Clamp(clip)
+		c.GradB.Clamp(clip)
+	}
+	c.W.Data.AddScaled(-lr, c.GradW.Data)
+	c.B.AddScaled(-lr, c.GradB)
+}
+
+// clone returns a deep copy (used by Model.Clone).
+func (c *Conv1D) clone() *Conv1D {
+	nc := &Conv1D{
+		Filters: c.Filters,
+		Kernel:  c.Kernel,
+		Act:     c.Act,
+		W:       c.W.Clone(),
+		B:       c.B.Clone(),
+		GradW:   tensor.NewMatrix(c.Filters, c.Kernel),
+		GradB:   tensor.NewVector(c.Filters),
+		inWidth: c.inWidth,
+	}
+	nc.preAct = tensor.NewVector(c.Filters * c.outWidth())
+	nc.out = tensor.NewVector(c.Filters * c.outWidth())
+	return nc
+}

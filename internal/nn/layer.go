@@ -1,0 +1,151 @@
+// Package nn is a from-scratch neural-network substrate: dense layers,
+// softmax cross-entropy, SGD training, and a model registry whose named
+// architectures mirror the relative sizes of the models used in the FLOAT
+// paper (ResNet-18/34/50, ShuffleNet).
+//
+// Two scales coexist deliberately. The *trained* network is small (so the
+// CPU-only simulator converges in seconds and accuracy dynamics are real),
+// while each architecture also carries reference parameter/FLOP counts at
+// the true model scale; the device cost model consumes the reference
+// numbers so simulated training and communication times reflect real
+// workloads.
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"floatfl/internal/tensor"
+)
+
+// Activation selects the nonlinearity applied by a Dense layer.
+type Activation int
+
+const (
+	// ActNone applies no nonlinearity (used by the output layer).
+	ActNone Activation = iota
+	// ActReLU applies max(0, x) elementwise.
+	ActReLU
+)
+
+// Dense is a fully connected layer: y = act(W·x + b).
+type Dense struct {
+	W   *tensor.Matrix
+	B   tensor.Vector
+	Act Activation
+
+	// Scratch buffers reused across Forward/Backward calls. They hold the
+	// most recent forward pass, which Backward consumes.
+	in     tensor.Vector // last input (aliases caller data)
+	preAct tensor.Vector // W·x + b before activation
+	out    tensor.Vector // activated output
+
+	// Gradient accumulators, matched elementwise to W and B.
+	GradW *tensor.Matrix
+	GradB tensor.Vector
+}
+
+// NewDense constructs a Dense layer with Xavier-initialized weights.
+func NewDense(in, out int, act Activation, rng *rand.Rand) *Dense {
+	d := &Dense{
+		W:     tensor.NewMatrix(out, in),
+		B:     tensor.NewVector(out),
+		Act:   act,
+		GradW: tensor.NewMatrix(out, in),
+		GradB: tensor.NewVector(out),
+	}
+	tensor.XavierInto(d.W.Data, in, out, rng)
+	d.preAct = tensor.NewVector(out)
+	d.out = tensor.NewVector(out)
+	return d
+}
+
+// InDim returns the layer's input dimensionality.
+func (d *Dense) InDim() int { return d.W.Cols }
+
+// OutDim returns the layer's output dimensionality.
+func (d *Dense) OutDim() int { return d.W.Rows }
+
+// NumParams returns the number of trainable scalars in the layer.
+func (d *Dense) NumParams() int { return len(d.W.Data) + len(d.B) }
+
+// Forward runs the layer on x and returns the activated output. The
+// returned slice is owned by the layer and overwritten on the next call.
+func (d *Dense) Forward(x tensor.Vector) tensor.Vector {
+	if len(x) != d.W.Cols {
+		panic(fmt.Sprintf("nn: Dense.Forward input %d, want %d", len(x), d.W.Cols))
+	}
+	d.in = x
+	d.W.MatVec(d.preAct, x)
+	d.preAct.AddScaled(1, d.B)
+	switch d.Act {
+	case ActReLU:
+		for i, v := range d.preAct {
+			if v > 0 {
+				d.out[i] = v
+			} else {
+				d.out[i] = 0
+			}
+		}
+	default:
+		copy(d.out, d.preAct)
+	}
+	return d.out
+}
+
+// Backward consumes dL/dOut, accumulates dL/dW and dL/dB into the gradient
+// buffers, and returns dL/dIn. gradOut may be modified in place.
+func (d *Dense) Backward(gradOut tensor.Vector) tensor.Vector {
+	if len(gradOut) != d.W.Rows {
+		panic(fmt.Sprintf("nn: Dense.Backward grad %d, want %d", len(gradOut), d.W.Rows))
+	}
+	if d.Act == ActReLU {
+		for i := range gradOut {
+			if d.preAct[i] <= 0 {
+				gradOut[i] = 0
+			}
+		}
+	}
+	d.GradB.AddScaled(1, gradOut)
+	d.GradW.AddOuterScaled(1, gradOut, d.in)
+	gradIn := tensor.NewVector(d.W.Cols)
+	d.W.MatVecT(gradIn, gradOut)
+	return gradIn
+}
+
+// ZeroGrad clears the accumulated gradients.
+func (d *Dense) ZeroGrad() {
+	d.GradW.Data.Zero()
+	d.GradB.Zero()
+}
+
+// ApplySGD performs W -= lr*GradW, B -= lr*GradB with gradient clipping at
+// clip (no clipping if clip <= 0).
+func (d *Dense) ApplySGD(lr, clip float64) {
+	if clip > 0 {
+		d.GradW.Data.Clamp(clip)
+		d.GradB.Clamp(clip)
+	}
+	d.W.Data.AddScaled(-lr, d.GradW.Data)
+	d.B.AddScaled(-lr, d.GradB)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []tensor.Vector { return []tensor.Vector{d.W.Data, d.B} }
+
+// Grads implements Layer.
+func (d *Dense) Grads() []tensor.Vector { return []tensor.Vector{d.GradW.Data, d.GradB} }
+
+// clone returns a deep copy (used by Model.Clone).
+func (d *Dense) clone() *Dense {
+	nd := &Dense{
+		W:     d.W.Clone(),
+		B:     d.B.Clone(),
+		Act:   d.Act,
+		GradW: tensor.NewMatrix(d.W.Rows, d.W.Cols),
+		GradB: tensor.NewVector(len(d.B)),
+	}
+	nd.preAct = tensor.NewVector(d.W.Rows)
+	nd.out = tensor.NewVector(d.W.Rows)
+	return nd
+}

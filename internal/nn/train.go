@@ -1,0 +1,156 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"floatfl/internal/tensor"
+)
+
+// Sample is one labelled training or test example.
+type Sample struct {
+	X     tensor.Vector
+	Label int
+}
+
+// TrainConfig controls local SGD training on a client.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	// GradClip bounds each gradient component; <= 0 disables clipping.
+	GradClip float64
+	// FrozenLayers marks layers excluded from the update (partial
+	// training). nil or all-false trains everything. Length must equal the
+	// layer count when non-nil.
+	FrozenLayers []bool
+	// ProxMu enables FedProx's proximal term: each parameter is pulled
+	// toward ProxAnchor with strength ProxMu (gradient += mu·(w - anchor)).
+	// Zero disables it. ProxAnchor must be a flat parameter vector of the
+	// model's size when ProxMu > 0.
+	ProxMu     float64
+	ProxAnchor tensor.Vector
+	// Seed drives the shuffling order so local training is reproducible.
+	Seed int64
+}
+
+// LossAndGrads runs one sample through the model, accumulates gradients,
+// and returns the cross-entropy loss. The caller is responsible for
+// zeroing/zapplying gradients around batches.
+func (m *Model) lossAndGrads(s Sample) float64 {
+	logits := m.Forward(s.X)
+	tensor.Softmax(m.probs, logits)
+	p := m.probs[s.Label]
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	loss := -math.Log(p)
+
+	// dL/dlogits = probs - onehot(label)
+	grad := m.probs.Clone()
+	grad[s.Label] -= 1
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		grad = m.Layers[i].Backward(grad)
+	}
+	return loss
+}
+
+// Train runs mini-batch SGD over the samples according to cfg and returns
+// the mean training loss of the final epoch. Frozen layers still
+// participate in forward/backward (their activations are needed) but their
+// parameters are not updated — matching how partial training reduces
+// update computation and communication without changing the forward pass.
+func (m *Model) Train(samples []Sample, cfg TrainConfig) (float64, error) {
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("nn: Train called with no samples")
+	}
+	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 || cfg.LR <= 0 {
+		return 0, fmt.Errorf("nn: invalid TrainConfig %+v", cfg)
+	}
+	if cfg.FrozenLayers != nil && len(cfg.FrozenLayers) != len(m.Layers) {
+		return 0, fmt.Errorf("nn: FrozenLayers has %d entries, model has %d layers",
+			len(cfg.FrozenLayers), len(m.Layers))
+	}
+	if cfg.ProxMu > 0 && len(cfg.ProxAnchor) != m.NumParams() {
+		return 0, fmt.Errorf("nn: ProxAnchor has %d scalars, model has %d",
+			len(cfg.ProxAnchor), m.NumParams())
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := make([]int, len(samples))
+	for i := range order {
+		order[i] = i
+	}
+
+	var lastEpochLoss float64
+	for e := 0; e < cfg.Epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var epochLoss float64
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			for _, l := range m.Layers {
+				l.ZeroGrad()
+			}
+			for _, idx := range order[start:end] {
+				epochLoss += m.lossAndGrads(samples[idx])
+			}
+			if cfg.ProxMu > 0 {
+				m.addProximalGrads(cfg.ProxAnchor, cfg.ProxMu*float64(end-start))
+			}
+			lr := cfg.LR / float64(end-start)
+			for li, l := range m.Layers {
+				if cfg.FrozenLayers != nil && cfg.FrozenLayers[li] {
+					continue
+				}
+				l.ApplySGD(lr, cfg.GradClip)
+			}
+		}
+		lastEpochLoss = epochLoss / float64(len(samples))
+	}
+	return lastEpochLoss, nil
+}
+
+// addProximalGrads adds mu·(w - anchor) to every gradient accumulator —
+// FedProx's proximal term, which keeps local models from drifting far from
+// the global model on non-IID shards. mu here is already scaled by the
+// batch size because gradients are batch sums.
+func (m *Model) addProximalGrads(anchor tensor.Vector, mu float64) {
+	off := 0
+	for _, l := range m.Layers {
+		params := l.Params()
+		grads := l.Grads()
+		for pi, p := range params {
+			g := grads[pi]
+			for i := range p {
+				g[i] += mu * (p[i] - anchor[off+i])
+			}
+			off += len(p)
+		}
+	}
+}
+
+// Evaluate returns classification accuracy and mean cross-entropy loss over
+// the samples. It does not modify the model.
+func (m *Model) Evaluate(samples []Sample) (accuracy, meanLoss float64) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	correct := 0
+	var total float64
+	for _, s := range samples {
+		logits := m.Forward(s.X)
+		tensor.Softmax(m.probs, logits)
+		if logits.Argmax() == s.Label {
+			correct++
+		}
+		p := m.probs[s.Label]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		total += -math.Log(p)
+	}
+	return float64(correct) / float64(len(samples)), total / float64(len(samples))
+}

@@ -1,0 +1,66 @@
+package opt_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"floatfl/internal/opt"
+	"floatfl/internal/tensor"
+)
+
+// Applying a technique to a model update: prune the smallest half of the
+// entries, then size the result on the wire with the lossless codec.
+func ExampleApplyToUpdate() {
+	rng := rand.New(rand.NewSource(1))
+	update := tensor.Vector{0.9, -0.01, 0.4, 0.002, -0.7, 0.03, 0.5, -0.004}
+
+	opt.ApplyToUpdate(opt.TechPrune50, update, rng)
+
+	zeros := 0
+	for _, x := range update {
+		if x == 0 {
+			zeros++
+		}
+	}
+	fmt.Printf("zeroed %d of %d entries\n", zeros, len(update))
+	fmt.Printf("largest kept: %.1f\n", update.MaxAbs())
+	// Output:
+	// zeroed 4 of 8 entries
+	// largest kept: 0.9
+}
+
+// Every technique declares how it shifts the cost balance between
+// computation, communication, and memory.
+func ExampleTechnique_Effects() {
+	for _, tech := range []opt.Technique{opt.TechQuant8, opt.TechPrune75, opt.TechPartial75} {
+		e := tech.Effects()
+		fmt.Printf("%-10s compute ×%.2f  upload ×%.2f\n", tech, e.ComputeFactor, e.CommFactor)
+	}
+	// Output:
+	// quant8     compute ×1.05  upload ×0.25
+	// prune75    compute ×0.48  upload ×0.27
+	// partial75  compute ×0.32  upload ×0.74
+}
+
+// The wire codec losslessly round-trips a quantized sparse update and is
+// the ground truth for how many bytes a technique saves.
+func ExampleCompressUpdate() {
+	v := tensor.NewVector(1024)
+	v[10], v[500], v[900] = 1.5, -0.75, 0.25
+
+	blob, err := opt.CompressUpdate(v, 16)
+	if err != nil {
+		panic(err)
+	}
+	back, err := opt.DecompressUpdate(blob)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("raw float32 size: %d bytes\n", len(v)*4)
+	fmt.Printf("wire size: %d bytes\n", len(blob))
+	fmt.Printf("round trip intact: %v\n", back[10] != 0 && back[0] == 0)
+	// Output:
+	// raw float32 size: 4096 bytes
+	// wire size: 31 bytes
+	// round trip intact: true
+}

@@ -1,0 +1,120 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"floatfl/internal/tensor"
+)
+
+// Quantize rounds every entry of v onto a symmetric b-bit integer grid
+// using stochastic rounding (unbiased: E[quantized] = original). The grid
+// scale adapts to the update's max magnitude, as FedPAQ-style update
+// quantization does. b must be in [2, 32]; b >= 32 is a no-op.
+func Quantize(v tensor.Vector, bits int, rng *rand.Rand) {
+	if bits >= 32 || len(v) == 0 {
+		return
+	}
+	if bits < 2 {
+		bits = 2
+	}
+	maxAbs := v.MaxAbs()
+	if maxAbs == 0 {
+		return
+	}
+	levels := float64(int64(1)<<(bits-1)) - 1 // e.g. 127 for 8-bit
+	scale := maxAbs / levels
+	for i, x := range v {
+		q := x / scale
+		floor := math.Floor(q)
+		frac := q - floor
+		if rng.Float64() < frac {
+			floor++
+		}
+		v[i] = floor * scale
+	}
+}
+
+// PruneSmallest zeroes the frac fraction of entries of v with smallest
+// absolute value (magnitude pruning of the update). frac outside (0,1) is
+// clamped; frac <= 0 is a no-op.
+func PruneSmallest(v tensor.Vector, frac float64) {
+	if frac <= 0 || len(v) == 0 {
+		return
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	k := int(math.Round(frac * float64(len(v))))
+	if k <= 0 {
+		return
+	}
+	if k >= len(v) {
+		v.Zero()
+		return
+	}
+	mags := make([]float64, len(v))
+	for i, x := range v {
+		mags[i] = math.Abs(x)
+	}
+	sort.Float64s(mags)
+	threshold := mags[k-1]
+	zeroed := 0
+	// First pass: zero strictly-below-threshold entries.
+	for i, x := range v {
+		if math.Abs(x) < threshold {
+			v[i] = 0
+			zeroed++
+		}
+	}
+	// Second pass: zero at-threshold entries until exactly k are zeroed
+	// (ties at the threshold would otherwise over- or under-prune).
+	for i, x := range v {
+		if zeroed >= k {
+			break
+		}
+		if x != 0 && math.Abs(x) == threshold {
+			v[i] = 0
+			zeroed++
+		}
+	}
+}
+
+// FrozenLayerMask returns the per-layer freeze mask for partial training:
+// the first round(frac·n) layers are frozen, but the output layer always
+// stays trainable (freezing the classifier head would make local training
+// useless). frac <= 0 returns nil, meaning "train everything".
+func FrozenLayerMask(numLayers int, frac float64) []bool {
+	if frac <= 0 || numLayers <= 1 {
+		return nil
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	k := int(math.Round(frac * float64(numLayers)))
+	if k >= numLayers {
+		k = numLayers - 1
+	}
+	if k <= 0 {
+		return nil
+	}
+	mask := make([]bool, numLayers)
+	for i := 0; i < k; i++ {
+		mask[i] = true
+	}
+	return mask
+}
+
+// ApplyToUpdate applies the technique's update-side transformation (prune
+// and/or quantize) to a model delta in place. Partial training acts during
+// training (via FrozenLayerMask), not here.
+func ApplyToUpdate(t Technique, delta tensor.Vector, rng *rand.Rand) {
+	e := t.Effects()
+	if e.PruneFrac > 0 {
+		PruneSmallest(delta, e.PruneFrac)
+	}
+	if e.QuantBits > 0 {
+		Quantize(delta, e.QuantBits, rng)
+	}
+}

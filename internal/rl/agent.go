@@ -1,0 +1,447 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"floatfl/internal/opt"
+)
+
+// Config tunes the RLHF agent. Zero values get paper defaults; the boolean
+// knobs exist for the ablation studies (Fig 11 and the DESIGN.md ablation
+// benches) and default to the full FLOAT design via the *Disable* naming.
+type Config struct {
+	// Bins is the per-metric state resolution (default 5, RQ5).
+	Bins int
+	// Epsilon is the exploration probability (default 0.15).
+	Epsilon float64
+	// WP and WA weight participation success and accuracy improvement in
+	// the reward (Equation 2; defaults 0.6 / 0.4).
+	WP, WA float64
+	// BaseLR is the learning rate at round 0; the effective rate grows
+	// linearly with training progress up to 1.0 (RQ6's dynamic rate).
+	BaseLR float64
+	// TotalRounds calibrates the dynamic learning rate (default 300).
+	TotalRounds int
+	// Discount is the Bellman future-value coefficient. The paper reduces
+	// it toward zero because the next state is resource-random; the knob
+	// remains for the Algorithm 1 form (default 0).
+	Discount float64
+
+	// DisableHF ignores the deadline-difference human feedback (the
+	// FLOAT-RL ablation arm).
+	DisableHF bool
+	// DisableFeedbackCache skips reward synthesis for dropped clients (RQ7).
+	DisableFeedbackCache bool
+	// DisableBalancedExploration falls back to uniform random exploration.
+	DisableBalancedExploration bool
+	// AdditiveRewards accumulates raw rewards instead of moving averages —
+	// the broken variant RQ6 describes, kept for the ablation bench.
+	AdditiveRewards bool
+	// FixedLR pins the learning rate to BaseLR for the ablation bench.
+	FixedLR bool
+
+	// Actions overrides the agent's action space (default: the paper's 8
+	// actions, opt.Actions()). Adding a technique grows the search space
+	// linearly in the state count (RQ5); snapshots record the action list
+	// and refuse to load into a mismatched agent.
+	Actions []opt.Technique
+
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Bins <= 0 {
+		c.Bins = DefaultBins
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = 0.15
+	}
+	if c.WP <= 0 && c.WA <= 0 {
+		c.WP, c.WA = 0.6, 0.4
+	}
+	if c.BaseLR <= 0 {
+		c.BaseLR = 0.1
+	}
+	if c.TotalRounds <= 0 {
+		c.TotalRounds = 300
+	}
+	return c
+}
+
+// cell is one (state, action) entry of the multi-objective Q-table: the
+// two objective estimates plus the visit counter driving balanced
+// exploration.
+type cell struct {
+	QPart  float64 // participation-success objective
+	QAcc   float64 // accuracy-improvement objective
+	Visits int
+}
+
+// Agent is FLOAT's Q-learning RLHF agent.
+type Agent struct {
+	cfg     Config
+	actions []opt.Technique
+	rng     *rand.Rand
+
+	// table maps State.Key -> per-action cells. Only visited states are
+	// materialized, keeping the memory overhead tiny (Fig 8).
+	table map[int][]cell
+
+	// accCache memoizes the latest observed accuracy improvement per
+	// state, used to synthesize rewards for dropped clients (RQ7).
+	accCache map[int]float64
+
+	// rewardHistory records each update's combined reward for the
+	// convergence plots (Fig 9).
+	rewardHistory []float64
+
+	updates int
+}
+
+// NewAgent constructs an agent over FLOAT's 8-action space, or over
+// cfg.Actions when overridden.
+func NewAgent(cfg Config) *Agent {
+	cfg = cfg.withDefaults()
+	actions := cfg.Actions
+	if len(actions) == 0 {
+		actions = opt.Actions()
+	}
+	return &Agent{
+		cfg:      cfg,
+		actions:  append([]opt.Technique(nil), actions...),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		table:    make(map[int][]cell),
+		accCache: make(map[int]float64),
+	}
+}
+
+// Actions exposes the agent's action space.
+func (a *Agent) Actions() []opt.Technique { return a.actions }
+
+// Config returns the agent's effective configuration.
+func (a *Agent) Config() Config { return a.cfg }
+
+// normalize strips the HF dimension when human feedback is disabled, so
+// FLOAT-RL genuinely cannot condition on it.
+func (a *Agent) normalize(s State) State {
+	if a.cfg.DisableHF {
+		s.HF = 0
+	}
+	return s
+}
+
+func (a *Agent) cells(s State) []cell {
+	k := s.Key(a.cfg.Bins)
+	cs, ok := a.table[k]
+	if !ok {
+		cs = make([]cell, len(a.actions))
+		// Optimistic initialization: assume untried actions succeed. Under
+		// the moving-average update this washes out after a few visits but
+		// makes greedy selection try every action once per state, which
+		// matters a lot for sample efficiency at the paper's 125-state
+		// scale.
+		for i := range cs {
+			cs[i].QPart = 1
+		}
+		a.table[k] = cs
+	}
+	return cs
+}
+
+// SelectAction picks a technique for the state: with probability epsilon it
+// explores (preferring the least-visited action unless balanced exploration
+// is disabled), otherwise it exploits the weighted multi-objective Q-value.
+func (a *Agent) SelectAction(s State) opt.Technique {
+	s = a.normalize(s)
+	cs := a.cells(s)
+
+	// Count-based epsilon decay: a state whose least-tried action already
+	// has history needs less exploration. New states explore at the full
+	// rate; well-known states mostly exploit.
+	minV := cs[0].Visits
+	for _, c := range cs[1:] {
+		if c.Visits < minV {
+			minV = c.Visits
+		}
+	}
+	eps := a.cfg.Epsilon
+	if minV > 0 {
+		eps /= math.Sqrt(float64(minV + 1))
+	}
+	if a.rng.Float64() < eps {
+		if a.cfg.DisableBalancedExploration {
+			return a.actions[a.rng.Intn(len(a.actions))]
+		}
+		// Balanced exploration: among least-visited actions, pick randomly.
+		var least []int
+		for i, c := range cs {
+			if c.Visits == minV {
+				least = append(least, i)
+			}
+		}
+		return a.actions[least[a.rng.Intn(len(least))]]
+	}
+
+	best, bestScore := 0, a.score(cs[0])
+	for i := 1; i < len(cs); i++ {
+		if sc := a.score(cs[i]); sc > bestScore {
+			best, bestScore = i, sc
+		}
+	}
+	return a.actions[best]
+}
+
+// score combines the two objectives with the reward weights.
+func (a *Agent) score(c cell) float64 {
+	return a.cfg.WP*c.QPart + a.cfg.WA*c.QAcc
+}
+
+// QValues returns the combined Q-value per action for a state (zeros for
+// unvisited states); used by Q-table dumps (Fig 10) and tests.
+func (a *Agent) QValues(s State) []float64 {
+	s = a.normalize(s)
+	k := s.Key(a.cfg.Bins)
+	out := make([]float64, len(a.actions))
+	cs, ok := a.table[k]
+	if !ok {
+		return out
+	}
+	for i, c := range cs {
+		out[i] = a.score(c)
+	}
+	return out
+}
+
+// Objectives returns the per-action (participation, accuracy) estimates
+// for a state — the two panels of the paper's Fig 10 Q-table plots.
+func (a *Agent) Objectives(s State) (part, acc []float64) {
+	s = a.normalize(s)
+	k := s.Key(a.cfg.Bins)
+	part = make([]float64, len(a.actions))
+	acc = make([]float64, len(a.actions))
+	if cs, ok := a.table[k]; ok {
+		for i, c := range cs {
+			part[i] = c.QPart
+			acc[i] = c.QAcc
+		}
+	}
+	return part, acc
+}
+
+// learningRate implements RQ6's dynamic rate: low early (accuracy moves a
+// lot per round, so individual rewards are noisy), rising linearly with
+// training progress, capped at 1.
+func (a *Agent) learningRate(round int) float64 {
+	if a.cfg.FixedLR {
+		return a.cfg.BaseLR
+	}
+	progress := float64(round) / float64(a.cfg.TotalRounds)
+	lr := a.cfg.BaseLR + (1-a.cfg.BaseLR)*progress
+	if lr > 1 {
+		lr = 1
+	}
+	if lr < a.cfg.BaseLR {
+		lr = a.cfg.BaseLR
+	}
+	return lr
+}
+
+// Update feeds back one executed action. participated reports whether the
+// client completed the round; accImprove is its accuracy improvement (any
+// scale; clipped to [-1, 1]). When the client dropped out, accImprove is
+// unknown — pass 0 and the feedback cache supplies the estimate (RQ7).
+// next is the client's state after the round (used only when Discount > 0,
+// per Algorithm 1).
+func (a *Agent) Update(round int, s State, tech opt.Technique, participated bool, accImprove float64, next State) error {
+	s = a.normalize(s)
+	idx := a.actionIndex(tech)
+	if idx < 0 {
+		return fmt.Errorf("rl: technique %v is not in the action space", tech)
+	}
+	cs := a.cells(s)
+	key := s.Key(a.cfg.Bins)
+
+	p := 0.0
+	if participated {
+		p = 1.0
+		a.accCache[key] = 0.5*accImprove + 0.5*a.accCache[key]
+	} else if !a.cfg.DisableFeedbackCache {
+		// Synthesize the missing accuracy signal from similar clients'
+		// cached improvements (same state bin).
+		accImprove = a.accCache[key]
+	} else {
+		accImprove = 0
+	}
+	if accImprove > 1 {
+		accImprove = 1
+	}
+	if accImprove < -1 {
+		accImprove = -1
+	}
+
+	c := &cs[idx]
+	c.Visits++
+	lr := a.learningRate(round)
+	// Sample-average floor: the first visits to a cell average exactly
+	// (lr = 1/n), washing out the optimistic prior fast; once the cell has
+	// history, the dynamic rate takes over and keeps the estimate
+	// recency-weighted so the agent tracks resource drift.
+	if !a.cfg.FixedLR {
+		if inv := 1 / float64(c.Visits); inv > lr {
+			lr = inv
+		}
+	}
+
+	// Optional Algorithm-1 future term; the paper drives Discount -> 0.
+	var futureP, futureA float64
+	if a.cfg.Discount > 0 {
+		nk := a.normalize(next)
+		ncs := a.cells(nk)
+		bi, bs := 0, a.score(ncs[0])
+		for i := 1; i < len(ncs); i++ {
+			if sc := a.score(ncs[i]); sc > bs {
+				bi, bs = i, sc
+			}
+		}
+		futureP = ncs[bi].QPart
+		futureA = ncs[bi].QAcc
+	}
+
+	if a.cfg.AdditiveRewards {
+		// The broken pre-fix variant: raw additive accumulation inflates
+		// whichever action exploration happened to pick most.
+		c.QPart += lr * (p + a.cfg.Discount*futureP)
+		c.QAcc += lr * (accImprove + a.cfg.Discount*futureA)
+	} else {
+		// Moving-average update (RQ6): Q <- Q + lr (R + discount·maxQ' - Q).
+		c.QPart += lr * (p + a.cfg.Discount*futureP - c.QPart)
+		c.QAcc += lr * (accImprove + a.cfg.Discount*futureA - c.QAcc)
+	}
+
+	a.updates++
+	a.rewardHistory = append(a.rewardHistory, a.cfg.WP*p+a.cfg.WA*accImprove)
+	return nil
+}
+
+func (a *Agent) actionIndex(t opt.Technique) int {
+	for i, at := range a.actions {
+		if at == t {
+			return i
+		}
+	}
+	return -1
+}
+
+// Updates returns the number of Update calls the agent has absorbed.
+func (a *Agent) Updates() int { return a.updates }
+
+// RewardHistory returns the combined reward of every update in order
+// (Fig 9's convergence signal). The returned slice is owned by the agent.
+func (a *Agent) RewardHistory() []float64 { return a.rewardHistory }
+
+// MeanRecentReward averages the last window rewards (all if window <= 0 or
+// larger than the history).
+func (a *Agent) MeanRecentReward(window int) float64 {
+	h := a.rewardHistory
+	if len(h) == 0 {
+		return 0
+	}
+	if window <= 0 || window > len(h) {
+		window = len(h)
+	}
+	var s float64
+	for _, r := range h[len(h)-window:] {
+		s += r
+	}
+	return s / float64(window)
+}
+
+// ActionStats aggregates one action's learned objectives across all
+// visited states (visit-weighted) — the per-action bars of Fig 10.
+type ActionStats struct {
+	Technique opt.Technique
+	// Part and Acc are visit-weighted means of the participation-success
+	// and accuracy-improvement objectives.
+	Part, Acc float64
+	Visits    int
+}
+
+// ActionSummary aggregates the Q-table per action over every visited
+// state, weighting each state's estimate by its visit count.
+func (a *Agent) ActionSummary() []ActionStats {
+	out := make([]ActionStats, len(a.actions))
+	for i, t := range a.actions {
+		out[i].Technique = t
+	}
+	for _, cs := range a.table {
+		for i, c := range cs {
+			if c.Visits == 0 {
+				continue
+			}
+			w := float64(c.Visits)
+			out[i].Part += w * c.QPart
+			out[i].Acc += w * c.QAcc
+			out[i].Visits += c.Visits
+		}
+	}
+	for i := range out {
+		if out[i].Visits > 0 {
+			out[i].Part /= float64(out[i].Visits)
+			out[i].Acc /= float64(out[i].Visits)
+		}
+	}
+	return out
+}
+
+// PolicyEntry is one row of a greedy-policy dump.
+type PolicyEntry struct {
+	State  State
+	Action opt.Technique
+	Q      float64
+	Visits int
+}
+
+// PolicyDump returns the greedy action per visited state, sorted by state
+// key for stable output (the floatqtable CLI's -states mode).
+func (a *Agent) PolicyDump() []PolicyEntry {
+	keys := make([]int, 0, len(a.table))
+	for k := range a.table {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]PolicyEntry, 0, len(keys))
+	for _, k := range keys {
+		cs := a.table[k]
+		best, bestScore, visits := 0, a.score(cs[0]), 0
+		for i, c := range cs {
+			visits += c.Visits
+			if sc := a.score(c); sc > bestScore {
+				best, bestScore = i, sc
+			}
+		}
+		out = append(out, PolicyEntry{
+			State:  UnKey(k, a.cfg.Bins),
+			Action: a.actions[best],
+			Q:      bestScore,
+			Visits: visits,
+		})
+	}
+	return out
+}
+
+// StatesVisited returns the number of materialized states.
+func (a *Agent) StatesVisited() int { return len(a.table) }
+
+// MemoryBytes estimates the Q-table's resident size: per state, one map
+// slot plus len(actions) cells of (2 float64 + 1 int). This is the Fig 8
+// overhead curve; at the paper's 125 resource states × 8 actions it is
+// comfortably under 0.2 MB.
+func (a *Agent) MemoryBytes() int64 {
+	const cellBytes = 8 + 8 + 8 // QPart, QAcc, Visits
+	const slotOverhead = 48     // map bucket + key + slice header, amortized
+	perState := int64(slotOverhead + cellBytes*len(a.actions))
+	return int64(len(a.table))*perState + int64(len(a.accCache))*16
+}

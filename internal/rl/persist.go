@@ -1,0 +1,115 @@
+package rl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// snapshot is the serialized form of an agent's learned state. It carries
+// enough metadata to refuse loads into an incompatible agent (different
+// bin resolution or action space).
+type snapshot struct {
+	Version  int                `json:"version"`
+	Bins     int                `json:"bins"`
+	Actions  []string           `json:"actions"`
+	Table    map[string][]cell  `json:"table"`
+	AccCache map[string]float64 `json:"acc_cache"`
+}
+
+const snapshotVersion = 1
+
+// Save writes the agent's Q-table and feedback cache as JSON. This is what
+// makes the RLHF agent reusable across workloads (RQ3 / Fig 9): pre-train
+// on one dataset, Save, Load into a new deployment, fine-tune online.
+func (a *Agent) Save(w io.Writer) error {
+	snap := snapshot{
+		Version:  snapshotVersion,
+		Bins:     a.cfg.Bins,
+		Actions:  make([]string, len(a.actions)),
+		Table:    make(map[string][]cell, len(a.table)),
+		AccCache: make(map[string]float64, len(a.accCache)),
+	}
+	for i, t := range a.actions {
+		snap.Actions[i] = t.String()
+	}
+	for k, cs := range a.table {
+		snap.Table[strconv.Itoa(k)] = cs
+	}
+	for k, v := range a.accCache {
+		snap.AccCache[strconv.Itoa(k)] = v
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(snap)
+}
+
+// Load replaces the agent's Q-table and feedback cache with a previously
+// saved snapshot. The snapshot's bin resolution and action space must match
+// the agent's configuration.
+func (a *Agent) Load(r io.Reader) error {
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("rl: decoding snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("rl: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	if snap.Bins != a.cfg.Bins {
+		return fmt.Errorf("rl: snapshot bins %d, agent bins %d", snap.Bins, a.cfg.Bins)
+	}
+	if len(snap.Actions) != len(a.actions) {
+		return fmt.Errorf("rl: snapshot has %d actions, agent has %d", len(snap.Actions), len(a.actions))
+	}
+	for i, name := range snap.Actions {
+		if a.actions[i].String() != name {
+			return fmt.Errorf("rl: snapshot action %d is %q, agent has %q", i, name, a.actions[i])
+		}
+	}
+	table := make(map[int][]cell, len(snap.Table))
+	for k, cs := range snap.Table {
+		key, err := strconv.Atoi(k)
+		if err != nil {
+			return fmt.Errorf("rl: snapshot has invalid state key %q", k)
+		}
+		if len(cs) != len(a.actions) {
+			return fmt.Errorf("rl: snapshot state %q has %d cells, want %d", k, len(cs), len(a.actions))
+		}
+		table[key] = cs
+	}
+	cache := make(map[int]float64, len(snap.AccCache))
+	for k, v := range snap.AccCache {
+		key, err := strconv.Atoi(k)
+		if err != nil {
+			return fmt.Errorf("rl: snapshot has invalid cache key %q", k)
+		}
+		cache[key] = v
+	}
+	a.table = table
+	a.accCache = cache
+	return nil
+}
+
+// MarshalJSON lets callers embed the cell type in snapshots; fields are
+// exported through an alias to keep the wire format explicit.
+func (c cell) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		QPart  float64 `json:"qp"`
+		QAcc   float64 `json:"qa"`
+		Visits int     `json:"n"`
+	}{c.QPart, c.QAcc, c.Visits})
+}
+
+// UnmarshalJSON mirrors MarshalJSON.
+func (c *cell) UnmarshalJSON(data []byte) error {
+	var aux struct {
+		QPart  float64 `json:"qp"`
+		QAcc   float64 `json:"qa"`
+		Visits int     `json:"n"`
+	}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	c.QPart, c.QAcc, c.Visits = aux.QPart, aux.QAcc, aux.Visits
+	return nil
+}

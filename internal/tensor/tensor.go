@@ -1,0 +1,232 @@
+// Package tensor provides the dense numerical kernels used by the
+// neural-network substrate: vectors, row-major matrices, and the handful of
+// BLAS-like operations (axpy, dot, matmul, softmax) that model training
+// needs. Everything is float64 and allocation-conscious: the hot paths
+// (MatVec, AddScaled) write into caller-provided destinations so the
+// training loop can reuse buffers across steps.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a dense 1-D array of float64.
+type Vector []float64
+
+// NewVector returns a zeroed vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Fill sets every element of v to x.
+func (v Vector) Fill(x float64) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// Zero sets every element of v to zero.
+func (v Vector) Zero() { v.Fill(0) }
+
+// Dot returns the inner product of v and w. It panics if the lengths differ,
+// because a length mismatch is always a programming error in this codebase.
+func (v Vector) Dot(w Vector) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(v), len(w)))
+	}
+	var s float64
+	for i, x := range v {
+		s += x * w[i]
+	}
+	return s
+}
+
+// AddScaled performs v += alpha*w (the classic axpy).
+func (v Vector) AddScaled(alpha float64, w Vector) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("tensor: AddScaled length mismatch %d vs %d", len(v), len(w)))
+	}
+	for i := range v {
+		v[i] += alpha * w[i]
+	}
+}
+
+// Scale performs v *= alpha.
+func (v Vector) Scale(alpha float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Norm2 returns the Euclidean norm of v.
+func (v Vector) Norm2() float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Norm1 returns the L1 norm of v.
+func (v Vector) Norm1() float64 {
+	var s float64
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute element of v, or 0 for an empty vector.
+func (v Vector) MaxAbs() float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Argmax returns the index of the largest element. Ties resolve to the
+// lowest index. It returns -1 for an empty vector.
+func (v Vector) Argmax() int {
+	if len(v) == 0 {
+		return -1
+	}
+	best, bestIdx := v[0], 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > best {
+			best, bestIdx = v[i], i
+		}
+	}
+	return bestIdx
+}
+
+// Softmax writes the softmax of src into dst (which may alias src).
+// It uses the max-subtraction trick for numerical stability.
+func Softmax(dst, src Vector) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("tensor: Softmax length mismatch %d vs %d", len(dst), len(src)))
+	}
+	if len(src) == 0 {
+		return
+	}
+	max := src[0]
+	for _, x := range src[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	var sum float64
+	for i, x := range src {
+		e := math.Exp(x - max)
+		dst[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range dst {
+		dst[i] *= inv
+	}
+}
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       Vector // len == Rows*Cols
+}
+
+// NewMatrix returns a zeroed Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: NewMatrix negative shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: NewVector(rows * cols)}
+}
+
+// At returns the element at (r, c).
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns the element at (r, c).
+func (m *Matrix) Set(r, c int, x float64) { m.Data[r*m.Cols+c] = x }
+
+// Row returns row r as a slice aliasing the matrix storage.
+func (m *Matrix) Row(r int) Vector { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	return &Matrix{Rows: m.Rows, Cols: m.Cols, Data: m.Data.Clone()}
+}
+
+// MatVec computes dst = m · x where x has length m.Cols and dst has length
+// m.Rows. dst must not alias x.
+func (m *Matrix) MatVec(dst, x Vector) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic(fmt.Sprintf("tensor: MatVec shape mismatch m=%dx%d x=%d dst=%d",
+			m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		var s float64
+		for c, w := range row {
+			s += w * x[c]
+		}
+		dst[r] = s
+	}
+}
+
+// MatVecT computes dst = mᵀ · x where x has length m.Rows and dst has length
+// m.Cols. dst must not alias x.
+func (m *Matrix) MatVecT(dst, x Vector) {
+	if len(x) != m.Rows || len(dst) != m.Cols {
+		panic(fmt.Sprintf("tensor: MatVecT shape mismatch m=%dx%d x=%d dst=%d",
+			m.Rows, m.Cols, len(x), len(dst)))
+	}
+	dst.Zero()
+	for r := 0; r < m.Rows; r++ {
+		xr := x[r]
+		if xr == 0 {
+			continue
+		}
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		for c, w := range row {
+			dst[c] += w * xr
+		}
+	}
+}
+
+// AddOuterScaled performs m += alpha * (a ⊗ b), the rank-1 update used by
+// linear-layer backprop: a has length m.Rows, b has length m.Cols.
+func (m *Matrix) AddOuterScaled(alpha float64, a, b Vector) {
+	if len(a) != m.Rows || len(b) != m.Cols {
+		panic(fmt.Sprintf("tensor: AddOuterScaled shape mismatch m=%dx%d a=%d b=%d",
+			m.Rows, m.Cols, len(a), len(b)))
+	}
+	for r := 0; r < m.Rows; r++ {
+		ar := alpha * a[r]
+		if ar == 0 {
+			continue
+		}
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		for c := range row {
+			row[c] += ar * b[c]
+		}
+	}
+}
+
+// Clamp limits every element of v to the range [-limit, limit]. Gradient
+// clipping keeps small-batch SGD stable on hard synthetic tasks.
+func (v Vector) Clamp(limit float64) {
+	for i, x := range v {
+		if x > limit {
+			v[i] = limit
+		} else if x < -limit {
+			v[i] = -limit
+		}
+	}
+}

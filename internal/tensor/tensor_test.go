@@ -1,0 +1,280 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestVectorDot(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 5, 6}
+	if got := v.Dot(w); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestVectorDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot on mismatched lengths did not panic")
+		}
+	}()
+	Vector{1}.Dot(Vector{1, 2})
+}
+
+func TestAddScaled(t *testing.T) {
+	v := Vector{1, 1, 1}
+	v.AddScaled(2, Vector{1, 2, 3})
+	want := Vector{3, 5, 7}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("AddScaled = %v, want %v", v, want)
+		}
+	}
+}
+
+func TestScaleAndNorms(t *testing.T) {
+	v := Vector{3, -4}
+	if got := v.Norm2(); !almostEqual(got, 5, 1e-12) {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+	if got := v.Norm1(); got != 7 {
+		t.Fatalf("Norm1 = %v, want 7", got)
+	}
+	if got := v.MaxAbs(); got != 4 {
+		t.Fatalf("MaxAbs = %v, want 4", got)
+	}
+	v.Scale(2)
+	if v[0] != 6 || v[1] != -8 {
+		t.Fatalf("Scale = %v", v)
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	cases := []struct {
+		v    Vector
+		want int
+	}{
+		{Vector{}, -1},
+		{Vector{1}, 0},
+		{Vector{1, 3, 2}, 1},
+		{Vector{5, 5, 5}, 0}, // ties resolve low
+		{Vector{-2, -1, -3}, 1},
+	}
+	for _, c := range cases {
+		if got := c.v.Argmax(); got != c.want {
+			t.Errorf("Argmax(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	src := Vector{1, 2, 3, 4}
+	dst := NewVector(4)
+	Softmax(dst, src)
+	var sum float64
+	for _, x := range dst {
+		if x <= 0 {
+			t.Fatalf("softmax produced non-positive probability %v", x)
+		}
+		sum += x
+	}
+	if !almostEqual(sum, 1, 1e-12) {
+		t.Fatalf("softmax sum = %v, want 1", sum)
+	}
+	// Monotone: larger logits -> larger probabilities.
+	for i := 1; i < len(dst); i++ {
+		if dst[i] <= dst[i-1] {
+			t.Fatalf("softmax not monotone: %v", dst)
+		}
+	}
+}
+
+func TestSoftmaxStableForLargeLogits(t *testing.T) {
+	src := Vector{1000, 1001, 999}
+	dst := NewVector(3)
+	Softmax(dst, src)
+	for _, x := range dst {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatalf("softmax overflow on large logits: %v", dst)
+		}
+	}
+	if dst.Argmax() != 1 {
+		t.Fatalf("softmax argmax = %d, want 1", dst.Argmax())
+	}
+}
+
+func TestSoftmaxInPlace(t *testing.T) {
+	v := Vector{0, 0}
+	Softmax(v, v)
+	if !almostEqual(v[0], 0.5, 1e-12) || !almostEqual(v[1], 0.5, 1e-12) {
+		t.Fatalf("in-place softmax = %v, want [0.5 0.5]", v)
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	m := NewMatrix(2, 3)
+	copy(m.Data, Vector{1, 2, 3, 4, 5, 6})
+	x := Vector{1, 0, -1}
+	dst := NewVector(2)
+	m.MatVec(dst, x)
+	if dst[0] != -2 || dst[1] != -2 {
+		t.Fatalf("MatVec = %v, want [-2 -2]", dst)
+	}
+}
+
+func TestMatVecT(t *testing.T) {
+	m := NewMatrix(2, 3)
+	copy(m.Data, Vector{1, 2, 3, 4, 5, 6})
+	x := Vector{1, 1}
+	dst := NewVector(3)
+	m.MatVecT(dst, x)
+	want := Vector{5, 7, 9}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("MatVecT = %v, want %v", dst, want)
+		}
+	}
+}
+
+func TestAddOuterScaled(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.AddOuterScaled(2, Vector{1, 2}, Vector{3, 4})
+	want := [][]float64{{6, 8}, {12, 16}}
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 2; c++ {
+			if m.At(r, c) != want[r][c] {
+				t.Fatalf("AddOuterScaled(%d,%d) = %v, want %v", r, c, m.At(r, c), want[r][c])
+			}
+		}
+	}
+}
+
+func TestMatrixRowAliases(t *testing.T) {
+	m := NewMatrix(3, 2)
+	m.Row(1)[0] = 42
+	if m.At(1, 0) != 42 {
+		t.Fatal("Row does not alias matrix storage")
+	}
+}
+
+func TestMatrixCloneIndependent(t *testing.T) {
+	m := NewMatrix(1, 2)
+	m.Set(0, 0, 1)
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	v := Vector{-10, -1, 0, 1, 10}
+	v.Clamp(2)
+	want := Vector{-2, -1, 0, 1, 2}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("Clamp = %v, want %v", v, want)
+		}
+	}
+}
+
+func TestXavierIntoBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := NewVector(1000)
+	XavierInto(v, 30, 10, rng)
+	limit := math.Sqrt(6.0 / 40.0)
+	for _, x := range v {
+		if math.Abs(x) > limit {
+			t.Fatalf("Xavier sample %v exceeds limit %v", x, limit)
+		}
+	}
+	if v.Norm2() == 0 {
+		t.Fatal("Xavier produced all zeros")
+	}
+}
+
+func TestRandnIntoDeterministic(t *testing.T) {
+	a, b := NewVector(16), NewVector(16)
+	RandnInto(a, 1, rand.New(rand.NewSource(7)))
+	RandnInto(b, 1, rand.New(rand.NewSource(7)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("RandnInto is not deterministic under a fixed seed")
+		}
+	}
+}
+
+// Property: Dot is symmetric and bilinear in its first argument.
+func TestDotPropertyQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		n := len(raw) / 2
+		v, w := Vector(raw[:n]), Vector(raw[n:2*n])
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true // skip degenerate inputs
+			}
+		}
+		return almostEqual(v.Dot(w), w.Dot(v), 1e-6*(1+v.Norm2()*w.Norm2()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: softmax output is a probability distribution for any finite input.
+func TestSoftmaxPropertyQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			if math.Abs(x) > 500 {
+				raw[i] = math.Mod(x, 500)
+			}
+		}
+		dst := NewVector(len(raw))
+		Softmax(dst, Vector(raw))
+		var sum float64
+		for _, p := range dst {
+			if p < 0 || math.IsNaN(p) {
+				return false
+			}
+			sum += p
+		}
+		return almostEqual(sum, 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MatVecT is the adjoint of MatVec: <Av, w> == <v, Aᵀw>.
+func TestAdjointPropertyQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 50; iter++ {
+		rows, cols := 1+rng.Intn(8), 1+rng.Intn(8)
+		m := NewMatrix(rows, cols)
+		RandnInto(m.Data, 1, rng)
+		v, w := NewVector(cols), NewVector(rows)
+		RandnInto(v, 1, rng)
+		RandnInto(w, 1, rng)
+		av := NewVector(rows)
+		m.MatVec(av, v)
+		atw := NewVector(cols)
+		m.MatVecT(atw, w)
+		if !almostEqual(av.Dot(w), v.Dot(atw), 1e-9) {
+			t.Fatalf("adjoint identity violated: %v vs %v", av.Dot(w), v.Dot(atw))
+		}
+	}
+}

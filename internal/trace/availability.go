@@ -1,0 +1,151 @@
+package trace
+
+import "math/rand"
+
+// AvailabilityTrace models energy-driven client availability as an ON/OFF
+// semi-Markov process with geometric dwell times plus a battery level that
+// drains under training load and recharges while idle. This deliberately
+// violates the "fixed linear availability window" assumption that the paper
+// criticizes in REFL: window lengths are random and correlated with
+// consumption, so window prediction from history is genuinely hard.
+type AvailabilityTrace struct {
+	rng *rand.Rand
+	// pOffToOn and pOnToOff are per-step switch probabilities.
+	pOffToOn, pOnToOff float64
+	diurnalPeriod      int
+	// battery in [0,1]; device is unavailable below lowWater regardless of
+	// the ON/OFF state, and recovers above highWater.
+	battery             float64
+	lowWater, highWater float64
+	drainPerUse         float64
+	chargePerStep       float64
+
+	on      bool
+	series  []bool
+	levels  []float64
+	pending float64 // drain requested for the next step
+}
+
+// AvailabilityConfig tunes an availability trace.
+type AvailabilityConfig struct {
+	Seed int64
+	// MeanOnSteps / MeanOffSteps set expected dwell times (geometric).
+	MeanOnSteps, MeanOffSteps float64
+	// DrainPerUse is battery drained by one round of training.
+	DrainPerUse float64
+	// ChargePerStep is battery recovered per idle step.
+	ChargePerStep float64
+	// DiurnalPeriod, when positive, modulates availability with a daily
+	// cycle of this many steps: devices are most available (idle and
+	// charging) during the "night" half of the cycle — the dominant
+	// pattern of the smartphone availability study the paper draws on.
+	DiurnalPeriod int
+}
+
+// NewAvailabilityTrace constructs a trace; zero-valued config fields get
+// defaults matching a phone that is usable roughly 80% of the time.
+func NewAvailabilityTrace(cfg AvailabilityConfig) *AvailabilityTrace {
+	if cfg.MeanOnSteps <= 0 {
+		cfg.MeanOnSteps = 30
+	}
+	if cfg.MeanOffSteps <= 0 {
+		cfg.MeanOffSteps = 6
+	}
+	if cfg.DrainPerUse <= 0 {
+		cfg.DrainPerUse = 0.08
+	}
+	if cfg.ChargePerStep <= 0 {
+		cfg.ChargePerStep = 0.05
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &AvailabilityTrace{
+		rng:           rng,
+		pOffToOn:      1 / cfg.MeanOffSteps,
+		pOnToOff:      1 / cfg.MeanOnSteps,
+		diurnalPeriod: cfg.DiurnalPeriod,
+		battery:       0.5 + 0.5*rng.Float64(),
+		lowWater:      0.15,
+		highWater:     0.35,
+		drainPerUse:   cfg.DrainPerUse,
+		chargePerStep: cfg.ChargePerStep,
+		on:            rng.Float64() < 0.8,
+	}
+}
+
+// Available reports whether the client can participate at step t.
+func (a *AvailabilityTrace) Available(t int) bool {
+	a.extend(t)
+	return a.series[t]
+}
+
+// BatteryAt returns the battery level in [0,1] at step t.
+func (a *AvailabilityTrace) BatteryAt(t int) float64 {
+	a.extend(t)
+	return a.levels[t]
+}
+
+// RecordUse registers that the client trained during the current step,
+// draining the configured per-use battery amount.
+func (a *AvailabilityTrace) RecordUse() { a.pending += a.drainPerUse }
+
+// RecordUseAmount drains an explicit battery fraction — used by the cost
+// model to charge each round proportionally to the energy it actually
+// consumed, so acceleration techniques that cut compute also preserve
+// battery (and with it future availability).
+func (a *AvailabilityTrace) RecordUseAmount(frac float64) {
+	if frac > 0 {
+		a.pending += frac
+	}
+}
+
+func (a *AvailabilityTrace) extend(t int) {
+	if t < 0 {
+		t = 0
+	}
+	for len(a.series) <= t {
+		// apply pending drain, else charge
+		if a.pending > 0 {
+			a.battery -= a.pending
+			a.pending = 0
+		} else {
+			a.battery += a.chargePerStep
+		}
+		if a.battery < 0 {
+			a.battery = 0
+		}
+		if a.battery > 1 {
+			a.battery = 1
+		}
+		// ON/OFF switching; a diurnal cycle tilts the switch rates so the
+		// "night" half of the period is markedly more available.
+		pOff, pOn := a.pOnToOff, a.pOffToOn
+		if a.diurnalPeriod > 0 {
+			phase := len(a.series) % a.diurnalPeriod
+			if phase < a.diurnalPeriod/2 { // night: sticky ON
+				pOff /= 3
+				pOn *= 3
+			} else { // day: sticky OFF
+				pOff *= 3
+				pOn /= 3
+			}
+			if pOn > 1 {
+				pOn = 1
+			}
+		}
+		if a.on {
+			if a.rng.Float64() < pOff {
+				a.on = false
+			}
+		} else {
+			if a.rng.Float64() < pOn {
+				a.on = true
+			}
+		}
+		avail := a.on
+		if a.battery < a.lowWater {
+			avail = false
+		}
+		a.series = append(a.series, avail)
+		a.levels = append(a.levels, a.battery)
+	}
+}

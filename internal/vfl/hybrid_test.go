@@ -1,0 +1,125 @@
+package vfl
+
+import (
+	"testing"
+
+	"floatfl/internal/core"
+	"floatfl/internal/fl"
+	"floatfl/internal/rl"
+	"floatfl/internal/trace"
+)
+
+func testHybrid(t *testing.T, scenario trace.Scenario, rounds int) *Hybrid {
+	t.Helper()
+	cfg := Config{
+		EmbeddingDim: 8, Rounds: rounds, BatchSize: 16,
+		LR: 0.3, StepsPerRound: 6, Seed: 31,
+	}
+	h, err := NewHybrid("femnist", 3, 4, 300, 120, cfg, scenario, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewHybridValidation(t *testing.T) {
+	if _, err := NewHybrid("femnist", 1, 4, 100, 50, Config{Rounds: 1}, trace.ScenarioNone, 1); err == nil {
+		t.Fatal("accepted single silo")
+	}
+	if _, err := NewHybrid("nope", 2, 4, 100, 50, Config{Rounds: 1}, trace.ScenarioNone, 1); err == nil {
+		t.Fatal("accepted unknown profile")
+	}
+}
+
+func TestHybridShapes(t *testing.T) {
+	h := testHybrid(t, trace.ScenarioNone, 1)
+	if len(h.Silos) != 3 {
+		t.Fatalf("silo count %d", len(h.Silos))
+	}
+	for si, silo := range h.Silos {
+		if len(silo.Parties) != 4 {
+			t.Fatalf("silo %d has %d parties", si, len(silo.Parties))
+		}
+		// All silos share one feature schema.
+		for pi := range silo.Parties {
+			if silo.Data.Dims[pi] != h.Silos[0].Data.Dims[pi] {
+				t.Fatal("silos disagree on the feature schema")
+			}
+		}
+	}
+}
+
+func TestHybridLearns(t *testing.T) {
+	h := testHybrid(t, trace.ScenarioNone, 30)
+	res, err := h.Run(fl.NoOpController{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalTestAcc <= res.TestAccHistory[0] {
+		t.Fatalf("hybrid FL did not learn: %v -> %v", res.TestAccHistory[0], res.FinalTestAcc)
+	}
+	if res.FinalTestAcc < 0.17 { // well above 1/12 chance
+		t.Fatalf("hybrid final accuracy too low: %v", res.FinalTestAcc)
+	}
+}
+
+func TestHybridAveragingSynchronizesSilos(t *testing.T) {
+	h := testHybrid(t, trace.ScenarioNone, 1)
+	if _, err := h.Run(fl.NoOpController{}); err != nil {
+		t.Fatal(err)
+	}
+	// After a global round every silo holds identical split models.
+	ref := h.Silos[0]
+	for _, silo := range h.Silos[1:] {
+		for pi := range silo.Parties {
+			a, b := ref.Parties[pi].Bottom.W.Data, silo.Parties[pi].Bottom.W.Data
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatal("silo bottom models diverge after averaging")
+				}
+			}
+		}
+		a, b := ref.Coord.Top.W.Data, silo.Coord.Top.W.Data
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("silo top models diverge after averaging")
+			}
+		}
+	}
+}
+
+func TestHybridWithFloat(t *testing.T) {
+	h := testHybrid(t, trace.ScenarioDynamic, 15)
+	float := core.New(core.Config{
+		Agent:           rl.Config{Seed: 33, TotalRounds: 15},
+		BatchSize:       16,
+		Epochs:          1,
+		ClientsPerRound: 12,
+	})
+	res, err := h.Run(float)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Controller != "float" {
+		t.Fatalf("controller label %q", res.Controller)
+	}
+	// 3 silos × 4 parties × 15 rounds = 180 decisions.
+	if float.Agent().Updates() != 180 {
+		t.Fatalf("agent updates = %d, want 180", float.Agent().Updates())
+	}
+	sum := 0
+	for _, d := range res.SiloDrops {
+		sum += d
+	}
+	if sum != res.TotalDrops {
+		t.Fatalf("per-silo drops %d != total %d", sum, res.TotalDrops)
+	}
+}
+
+func TestHybridRejectsZeroRounds(t *testing.T) {
+	h := testHybrid(t, trace.ScenarioNone, 1)
+	h.cfg.Rounds = 0
+	if _, err := h.Run(fl.NoOpController{}); err == nil {
+		t.Fatal("accepted zero rounds")
+	}
+}

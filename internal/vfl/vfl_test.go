@@ -1,0 +1,161 @@
+package vfl
+
+import (
+	"testing"
+
+	"floatfl/internal/core"
+	"floatfl/internal/fl"
+	"floatfl/internal/opt"
+	"floatfl/internal/rl"
+	"floatfl/internal/trace"
+)
+
+func testSplit(t *testing.T, parties int) *SplitDataset {
+	t.Helper()
+	ds, err := Split("femnist", parties, 300, 150, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestSplitShapes(t *testing.T) {
+	ds := testSplit(t, 4)
+	if len(ds.Dims) != 4 {
+		t.Fatalf("dims %v", ds.Dims)
+	}
+	total := 0
+	for _, d := range ds.Dims {
+		if d <= 0 {
+			t.Fatalf("empty party slice: %v", ds.Dims)
+		}
+		total += d
+	}
+	if total != 32 { // femnist profile dim
+		t.Fatalf("feature split loses columns: %d", total)
+	}
+	if len(ds.Labels) != 300 || len(ds.TestLabels) != 150 {
+		t.Fatalf("sample counts wrong: %d/%d", len(ds.Labels), len(ds.TestLabels))
+	}
+	for pi, feats := range ds.Features {
+		if len(feats) != 300 {
+			t.Fatalf("party %d has %d samples", pi, len(feats))
+		}
+		if len(feats[0]) != ds.Dims[pi] {
+			t.Fatalf("party %d slice dim %d, want %d", pi, len(feats[0]), ds.Dims[pi])
+		}
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	if _, err := Split("femnist", 1, 100, 50, 1); err == nil {
+		t.Fatal("accepted single party")
+	}
+	if _, err := Split("femnist", 100, 100, 50, 1); err == nil {
+		t.Fatal("accepted more parties than features")
+	}
+	if _, err := Split("nope", 4, 100, 50, 1); err == nil {
+		t.Fatal("accepted unknown profile")
+	}
+	if _, err := Split("femnist", 4, 0, 50, 1); err == nil {
+		t.Fatal("accepted zero samples")
+	}
+}
+
+func TestSplitDims(t *testing.T) {
+	d := splitDims(10, 4)
+	if d[0] != 3 || d[1] != 3 || d[2] != 2 || d[3] != 2 {
+		t.Fatalf("splitDims(10,4) = %v", d)
+	}
+	total := 0
+	for _, x := range splitDims(7, 3) {
+		total += x
+	}
+	if total != 7 {
+		t.Fatal("splitDims loses columns")
+	}
+}
+
+func runVFL(t *testing.T, ctrl fl.Controller, scenario trace.Scenario, rounds int) *Result {
+	t.Helper()
+	ds := testSplit(t, 4)
+	cfg := Config{EmbeddingDim: 8, Rounds: rounds, BatchSize: 16, LR: 0.3, StepsPerRound: 8, Seed: 13}
+	parties, coord, err := NewFederation(ds, cfg, scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(ds, parties, coord, ctrl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestVFLLearns(t *testing.T) {
+	res := runVFL(t, fl.NoOpController{}, trace.ScenarioNone, 25)
+	first, last := res.TestAccHistory[0], res.FinalTestAcc
+	if last <= first {
+		t.Fatalf("VFL did not learn: %v -> %v", first, last)
+	}
+	if last < 0.2 { // well above 1/12 chance
+		t.Fatalf("VFL final accuracy too low: %v", last)
+	}
+}
+
+func TestVFLDropoutsUnderInterference(t *testing.T) {
+	res := runVFL(t, fl.NoOpController{}, trace.ScenarioDynamic, 20)
+	if res.TotalDrops == 0 {
+		t.Skip("no party dropped in this seed")
+	}
+	if res.WastedComputeHours <= 0 {
+		t.Fatal("party drops did not waste compute")
+	}
+	sum := 0
+	for _, d := range res.PartyDrops {
+		sum += d
+	}
+	if sum != res.TotalDrops {
+		t.Fatalf("per-party drops %d != total %d", sum, res.TotalDrops)
+	}
+}
+
+func TestVFLWithFloatController(t *testing.T) {
+	float := core.New(core.Config{
+		Agent:           rl.Config{Seed: 17, TotalRounds: 20},
+		BatchSize:       16,
+		Epochs:          1,
+		ClientsPerRound: 4,
+	})
+	res := runVFL(t, float, trace.ScenarioDynamic, 20)
+	if res.Controller != "float" {
+		t.Fatalf("controller label %q", res.Controller)
+	}
+	if float.Agent().Updates() == 0 {
+		t.Fatal("FLOAT agent received no feedback from the VFL engine")
+	}
+	if len(res.TestAccHistory) != 20 {
+		t.Fatalf("accuracy history has %d points", len(res.TestAccHistory))
+	}
+}
+
+func TestVFLStaticQuantizationStillLearns(t *testing.T) {
+	res := runVFL(t, fl.StaticController{Tech: opt.TechQuant8}, trace.ScenarioNone, 25)
+	if res.FinalTestAcc < 0.15 {
+		t.Fatalf("quantized embeddings destroyed learning: %v", res.FinalTestAcc)
+	}
+}
+
+func TestVFLValidation(t *testing.T) {
+	ds := testSplit(t, 3)
+	cfg := Config{Rounds: 0, Seed: 1}
+	parties, coord, err := NewFederation(ds, cfg, trace.ScenarioNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(ds, parties, coord, fl.NoOpController{}, cfg); err == nil {
+		t.Fatal("accepted zero rounds")
+	}
+	if _, err := Run(ds, parties[:2], coord, fl.NoOpController{}, Config{Rounds: 1}); err == nil {
+		t.Fatal("accepted mismatched party count")
+	}
+}
