@@ -12,14 +12,17 @@ package bench
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"floatfl/internal/data"
 	"floatfl/internal/device"
 	"floatfl/internal/experiment"
+	"floatfl/internal/fl"
 	"floatfl/internal/nn"
 	"floatfl/internal/opt"
 	"floatfl/internal/rl"
+	"floatfl/internal/selection"
 	"floatfl/internal/tensor"
 	"floatfl/internal/trace"
 )
@@ -67,6 +70,61 @@ func BenchmarkAblationFeedbackCache(b *testing.B) { figureBench(b, "ablation-cac
 func BenchmarkAblationBins(b *testing.B)          { figureBench(b, "ablation-bins") }
 func BenchmarkAblationPerClient(b *testing.B)     { figureBench(b, "ablation-perclient") }
 func BenchmarkAblationActionSpace(b *testing.B)   { figureBench(b, "ablation-actions") }
+
+// --- parallel round execution ---
+
+// benchRounds runs a short synchronous training run at the given
+// per-round client parallelism. The federation and population are rebuilt
+// each iteration (off the clock) so every iteration simulates identical
+// rounds; the engines guarantee the results are bit-identical across
+// parallelism levels, so these two benchmarks measure pure speedup.
+func benchRounds(b *testing.B, parallelism int) {
+	b.Helper()
+	cfg := fl.Config{
+		Arch:            "resnet34",
+		Rounds:          4,
+		ClientsPerRound: 12,
+		Epochs:          2,
+		BatchSize:       16,
+		LR:              0.1,
+		EvalEvery:       4,
+		Seed:            17,
+		Parallelism:     parallelism,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fed, err := data.Generate("femnist", data.GenerateConfig{Clients: 24, Alpha: 0.1, Seed: 17})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pop, err := device.NewPopulation(device.PopulationConfig{
+			Clients: 24, Scenario: trace.ScenarioDynamic, Seed: 17,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := fl.RunSync(fed, pop, selection.NewRandom(17), fl.NoOpController{}, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRoundSequential(b *testing.B) { benchRounds(b, 1) }
+
+// BenchmarkRoundParallel uses at least 4 workers so the pool's goroutine
+// machinery is exercised even on small machines: on a multi-core host the
+// ratio to BenchmarkRoundSequential is the round speedup; on a single
+// core it bounds the pool's scheduling overhead.
+func BenchmarkRoundParallel(b *testing.B) {
+	par := runtime.NumCPU()
+	if par < 4 {
+		par = 4
+	}
+	benchRounds(b, par)
+}
 
 // --- substrate micro-benchmarks ---
 

@@ -30,6 +30,7 @@ func main() {
 		clients = flag.Int("clients", 0, "override client count")
 		rounds  = flag.Int("rounds", 0, "override round count")
 		seed    = flag.Int64("seed", 0, "override RNG seed")
+		par     = flag.Int("parallel", 0, "client-execution workers per round (0 = all CPU cores; results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -53,6 +54,9 @@ func main() {
 	}
 	if *seed != 0 {
 		sc.Seed = *seed
+	}
+	if *par > 0 {
+		sc.Parallelism = *par
 	}
 
 	names := experiment.FigureNames()

@@ -42,6 +42,7 @@ func main() {
 		perRound   = flag.Int("per-round", 0, "override clients per round")
 		deadlinePc = flag.Float64("deadline-pct", 0, "deadline percentile of population response time")
 		seed       = flag.Int64("seed", 0, "override RNG seed")
+		parallel   = flag.Int("parallel", 0, "client-execution workers per round (0 = all CPU cores; results are identical for any value)")
 		saveAgent  = flag.String("save-agent", "", "write the FLOAT agent's Q-table to this file")
 		logPath    = flag.String("log", "", "write a JSONL training log to this file (analyze with floatreport)")
 		seeds      = flag.Int("seeds", 0, "run a seed sweep of this size and report mean±std instead of a single run")
@@ -67,6 +68,9 @@ func main() {
 	}
 	if *seed != 0 {
 		sc.Seed = *seed
+	}
+	if *parallel > 0 {
+		sc.Parallelism = *parallel
 	}
 
 	sn, err := trace.ParseScenario(*scenario)

@@ -164,6 +164,14 @@ func drainFor(c *Client, cost Cost) {
 // estimates costs with the client's actual GFLOPS, and applies the dropout
 // rules (availability, memory, energy, deadline). Battery drain is
 // recorded on the availability trace so future rounds see it.
+//
+// Concurrency contract: Execute mutates only the receiver client's traces
+// (lazy extension plus battery drain), so calls for *distinct* clients may
+// run concurrently — this is what lets the fl engines fan a round's
+// selected clients across workers. Calls touching the same client must be
+// serialized by the caller, and a single client's calls must keep a
+// deterministic order (the engines execute each client at most once per
+// round/task, in simulation order).
 func Execute(c *Client, t int, w WorkSpec, tech opt.Technique, deadlineSec float64) (Outcome, error) {
 	if err := w.Validate(); err != nil {
 		return Outcome{}, err

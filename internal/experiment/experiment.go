@@ -33,6 +33,10 @@ type Scale struct {
 	// AsyncConcurrency and AsyncBuffer configure FedBuff runs.
 	AsyncConcurrency int
 	AsyncBuffer      int
+	// Parallelism is the per-round client-execution worker count handed to
+	// fl.Config.Parallelism. Results are bit-identical for every value;
+	// <= 0 defaults to runtime.NumCPU().
+	Parallelism int
 }
 
 // Quick is a CI-sized scale that preserves the figures' shapes.

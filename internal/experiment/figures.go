@@ -295,6 +295,7 @@ func runWith(sc Scale, spec RunSpec, ctrl fl.Controller) (*fl.Result, error) {
 		Seed:               seed + 1,
 		Concurrency:        sc.AsyncConcurrency,
 		BufferK:            sc.AsyncBuffer,
+		Parallelism:        sc.Parallelism,
 		Logger:             spec.Logger,
 	}
 	if spec.Algo == "fedprox" {

@@ -104,6 +104,74 @@ func TestApplyAggregateAllPoisoned(t *testing.T) {
 	}
 }
 
+func TestApplyAggregateZeroCompletedClients(t *testing.T) {
+	// A round where every selected client dropped out aggregates nothing:
+	// empty and nil slices must both be no-ops, not panics.
+	m := aggModel(t)
+	before := m.Parameters()
+	if err := applyAggregate(m, []tensor.Vector{}, []float64{}); err != nil {
+		t.Fatal(err)
+	}
+	after := m.Parameters()
+	for i := range after {
+		if after[i] != before[i] {
+			t.Fatal("zero-completed aggregation modified the model")
+		}
+	}
+}
+
+func TestApplyAggregateAllZeroWeights(t *testing.T) {
+	// Weights can all be zero (e.g. every completed client had an empty
+	// shard); total weight 0 must not divide.
+	m := aggModel(t)
+	before := m.Parameters()
+	n := m.NumParams()
+	d1 := tensor.NewVector(n)
+	d1.Fill(2)
+	d2 := tensor.NewVector(n)
+	d2.Fill(-3)
+	if err := applyAggregate(m, []tensor.Vector{d1, d2}, []float64{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	after := m.Parameters()
+	for i := range after {
+		if after[i] != before[i] {
+			t.Fatal("all-zero-weight aggregation modified the model")
+		}
+	}
+}
+
+func TestApplyAggregateSingleClientRound(t *testing.T) {
+	// One completed client: its delta applies at full strength regardless
+	// of its absolute weight.
+	m := aggModel(t)
+	before := m.Parameters()
+	d := tensor.NewVector(m.NumParams())
+	d.Fill(0.25)
+	if err := applyAggregate(m, []tensor.Vector{d}, []float64{17}); err != nil {
+		t.Fatal(err)
+	}
+	after := m.Parameters()
+	for i := range after {
+		if math.Abs(after[i]-(before[i]+0.25)) > 1e-12 {
+			t.Fatalf("single-client delta not applied at full weight at %d", i)
+		}
+	}
+}
+
+func TestMeanShardSize(t *testing.T) {
+	if got := meanShardSize(nil); got != 1 {
+		t.Fatalf("empty federation mean shard = %d, want 1", got)
+	}
+	if got := meanShardSize([][]nn.Sample{{}, {}}); got != 1 {
+		t.Fatalf("all-empty shards mean = %d, want 1", got)
+	}
+	shards := [][]nn.Sample{make([]nn.Sample, 10), make([]nn.Sample, 20)}
+	if got := meanShardSize(shards); got != 15 {
+		t.Fatalf("mean shard = %d, want 15", got)
+	}
+}
+
 func TestIsFinite(t *testing.T) {
 	if !isFinite(tensor.Vector{1, -2, 0}) {
 		t.Fatal("finite vector rejected")

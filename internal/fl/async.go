@@ -37,16 +37,56 @@ func (h *taskHeap) Pop() interface{} {
 	return item
 }
 
+// asyncTrainJob is one buffered local-training job awaiting the next
+// aggregation barrier. Everything it needs is captured at pop time (the
+// version snapshot it trains against, the version used as its seed round,
+// its staleness discount), so the job is a pure function and can run on
+// any worker.
+type asyncTrainJob struct {
+	clientID    int
+	tech        opt.Technique
+	round       int // model version at pop time; seeds the client's RNG streams
+	staleness   int
+	startParams tensor.Vector
+
+	lt  localTrainResult
+	err error
+}
+
+// asyncEvent records one popped task's deferred callbacks. Controller
+// feedback and logging for all tasks popped since the previous barrier are
+// delivered in pop order at the barrier, after the batch's training jobs
+// have finished — keeping both single-threaded and giving every
+// Parallelism the same delivery schedule.
+type asyncEvent struct {
+	version  int
+	clientID int
+	tech     opt.Technique
+	out      device.Outcome
+	trainIdx int // index into the pending job batch, -1 when the task produced no update
+}
+
 // RunAsync executes FedBuff: Concurrency clients train simultaneously and
 // asynchronously against the model version they started from; completed
 // updates enter a buffer and every BufferK arrivals are aggregated with
 // staleness-discounted weights. FedBuff has no hard round deadline — tasks
 // run until a generous timeout — which is why it tolerates dropouts but
 // burns far more resources than synchronous FL (Fig 2b, Fig 12).
+//
+// The discrete-event loop (launch decisions, cost-model execution, pops,
+// ledger records) stays on one goroutine; the expensive part — local
+// training of buffered updates — fans out across Config.Parallelism
+// workers at each aggregation barrier, where the whole batch is collected
+// in pop order. Controller feedback is therefore batch-delivered at
+// barriers; launch-time decisions observe controller state as of the last
+// aggregation, identically for every Parallelism.
 func RunAsync(fed *data.Federation, pop []*device.Client, ctrl Controller, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if len(pop) == 0 {
+		return nil, fmt.Errorf("fl: population is empty")
 	}
 	if len(fed.Train) != len(pop) {
 		return nil, fmt.Errorf("fl: federation has %d clients, population has %d",
@@ -61,14 +101,8 @@ func RunAsync(fed *data.Federation, pop []*device.Client, ctrl Controller, cfg C
 	if err != nil {
 		return nil, err
 	}
-	scratch := global.Clone()
 
-	meanShard := 0
-	for _, s := range fed.Train {
-		meanShard += len(s)
-	}
-	meanShard /= len(fed.Train)
-	refWork := workSpecFor(spec, meanShard, cfg.Epochs)
+	refWork := workSpecFor(spec, meanShardSize(fed.Train), cfg.Epochs)
 
 	// FedBuff is lenient: the per-task timeout is twice the synchronous
 	// auto deadline (explicit DeadlineSec overrides).
@@ -89,6 +123,8 @@ func RunAsync(fed *data.Federation, pop []*device.Client, ctrl Controller, cfg C
 	hfDiff := make([]float64, len(pop))
 
 	// Version-indexed snapshots of global parameters for stale training.
+	// Snapshot vectors are immutable once stored: pending training jobs
+	// read them concurrently.
 	versions := map[int]tensor.Vector{0: global.Parameters()}
 	version := 0
 
@@ -96,9 +132,6 @@ func RunAsync(fed *data.Federation, pop []*device.Client, ctrl Controller, cfg C
 	var tasks taskHeap
 	heap.Init(&tasks)
 	now := 0.0
-
-	var bufDeltas []tensor.Vector
-	var bufWeights []float64
 
 	launch := func() error {
 		step0 := stepOf(now)
@@ -137,6 +170,9 @@ func RunAsync(fed *data.Federation, pop []*device.Client, ctrl Controller, cfg C
 		return nil
 	}
 
+	var pendingJobs []asyncTrainJob
+	var pendingEvents []asyncEvent
+
 	aggregations := 0
 	evalCountdown := cfg.EvalEvery
 	for aggregations < cfg.Rounds {
@@ -157,7 +193,6 @@ func RunAsync(fed *data.Federation, pop []*device.Client, ctrl Controller, cfg C
 			hfDiff[task.clientID] = 0
 		}
 
-		var accImprove float64
 		startParams, haveVersion := versions[task.startVersion]
 		staleness := version - task.startVersion
 		tooStale := !haveVersion || staleness > cfg.StalenessCap
@@ -168,41 +203,75 @@ func RunAsync(fed *data.Federation, pop []*device.Client, ctrl Controller, cfg C
 		} else {
 			res.Ledger.Record(task.clientID, task.tech, out)
 		}
+		trainIdx := -1
 		if out.Completed && !tooStale {
-			if err := scratch.SetParameters(startParams); err != nil {
-				return nil, err
-			}
-			lt, err := trainLocal(scratch, fed.Train[task.clientID],
-				fed.LocalTest[task.clientID], task.tech, cfg, version, task.clientID, rng)
-			if err != nil {
-				return nil, err
-			}
-			accImprove = lt.accImprove
-			// FedBuff's staleness discount.
-			w := lt.weight / math.Sqrt(1+float64(staleness))
-			bufDeltas = append(bufDeltas, lt.delta)
-			bufWeights = append(bufWeights, w)
+			trainIdx = len(pendingJobs)
+			pendingJobs = append(pendingJobs, asyncTrainJob{
+				clientID:    task.clientID,
+				tech:        task.tech,
+				round:       version,
+				staleness:   staleness,
+				startParams: startParams,
+			})
 		}
-		ctrl.Feedback(version, pop[task.clientID], task.tech, out, accImprove)
-		cfg.Logger.LogClientRound(clientRoundLog(version, task.clientID, task.tech, out, accImprove))
+		pendingEvents = append(pendingEvents, asyncEvent{
+			version:  version,
+			clientID: task.clientID,
+			tech:     task.tech,
+			out:      out,
+			trainIdx: trainIdx,
+		})
 
-		if len(bufDeltas) >= cfg.BufferK {
-			if err := applyAggregate(global, bufDeltas, bufWeights); err != nil {
-				return nil, err
+		if len(pendingJobs) < cfg.BufferK {
+			continue
+		}
+
+		// Aggregation barrier: train the whole buffered batch in parallel
+		// (the global model is frozen until the batch is applied), then
+		// collect in pop order on this goroutine.
+		jobs := pendingJobs
+		forEachSlot(len(jobs), cfg.Parallelism, func(slot int) {
+			j := &jobs[slot]
+			j.lt, j.err = trainLocal(global, j.startParams, fed.Train[j.clientID],
+				fed.LocalTest[j.clientID], j.tech, cfg, j.round, j.clientID)
+		})
+		for i := range jobs {
+			if jobs[i].err != nil {
+				return nil, jobs[i].err
 			}
-			bufDeltas = bufDeltas[:0]
-			bufWeights = bufWeights[:0]
-			version++
-			versions[version] = global.Parameters()
-			delete(versions, version-cfg.StalenessCap-1)
-			aggregations++
-			evalCountdown--
-			if evalCountdown <= 0 || aggregations == cfg.Rounds {
-				acc, _ := global.Evaluate(fed.GlobalTest)
-				res.GlobalAccHistory = append(res.GlobalAccHistory, acc)
-				res.EvalRounds = append(res.EvalRounds, aggregations)
-				evalCountdown = cfg.EvalEvery
+		}
+
+		bufDeltas := make([]tensor.Vector, len(jobs))
+		bufWeights := make([]float64, len(jobs))
+		for i := range jobs {
+			// FedBuff's staleness discount.
+			bufDeltas[i] = jobs[i].lt.delta
+			bufWeights[i] = jobs[i].lt.weight / math.Sqrt(1+float64(jobs[i].staleness))
+		}
+		for _, ev := range pendingEvents {
+			var accImprove float64
+			if ev.trainIdx >= 0 {
+				accImprove = jobs[ev.trainIdx].lt.accImprove
 			}
+			ctrl.Feedback(ev.version, pop[ev.clientID], ev.tech, ev.out, accImprove)
+			cfg.Logger.LogClientRound(clientRoundLog(ev.version, ev.clientID, ev.tech, ev.out, accImprove))
+		}
+		pendingJobs = pendingJobs[:0]
+		pendingEvents = pendingEvents[:0]
+
+		if err := applyAggregate(global, bufDeltas, bufWeights); err != nil {
+			return nil, err
+		}
+		version++
+		versions[version] = global.Parameters()
+		delete(versions, version-cfg.StalenessCap-1)
+		aggregations++
+		evalCountdown--
+		if evalCountdown <= 0 || aggregations == cfg.Rounds {
+			acc, _ := global.Evaluate(fed.GlobalTest)
+			res.GlobalAccHistory = append(res.GlobalAccHistory, acc)
+			res.EvalRounds = append(res.EvalRounds, aggregations)
+			evalCountdown = cfg.EvalEvery
 		}
 	}
 

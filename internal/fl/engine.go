@@ -23,8 +23,13 @@ import (
 
 // Controller decides, per selected client and round, which acceleration
 // technique to apply, and receives feedback after execution. Controllers
-// must be safe for sequential use only (the engines are single-threaded
-// discrete-event simulators).
+// must be safe for sequential use only: even when the engines fan client
+// work out across workers (Config.Parallelism), Decide runs on the
+// dispatch pass and Feedback on the collect pass of a single goroutine, in
+// dispatch order. Feedback for a batch of concurrently-executed clients is
+// delivered after the whole batch completes (end of round for the sync
+// engine, aggregation barrier for the async engine), so Decide observes
+// controller state as of the previous batch boundary.
 type Controller interface {
 	Name() string
 	// Decide picks a technique given the client's resource snapshot and
@@ -95,6 +100,12 @@ type Config struct {
 	// (default 20).
 	StalenessCap int
 
+	// Parallelism is the number of workers executing per-client rounds
+	// (device cost model + local training) concurrently. Results are
+	// collected in dispatch order, so any value produces bit-identical
+	// results to Parallelism=1. <= 0 defaults to runtime.NumCPU().
+	Parallelism int
+
 	// Logger receives structured per-client-round and per-round events
 	// (nil discards them).
 	Logger RoundLogger
@@ -131,6 +142,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StalenessCap <= 0 {
 		c.StalenessCap = 20
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = defaultParallelism()
 	}
 	if c.Logger == nil {
 		c.Logger = NopLogger{}
@@ -191,6 +205,24 @@ func AutoDeadline(pop []*device.Client, w device.WorkSpec, percentile float64) f
 	return d
 }
 
+// meanShardSize returns the average client shard size, guarding the
+// degenerate cases (no clients, all-empty shards) that would otherwise
+// divide by zero; workSpecFor treats the floor of 1 as "one sample".
+func meanShardSize(shards [][]nn.Sample) int {
+	if len(shards) == 0 {
+		return 1
+	}
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+	}
+	m := total / len(shards)
+	if m <= 0 {
+		m = 1
+	}
+	return m
+}
+
 // workSpecFor builds the client-round work spec from the architecture's
 // reference scale and the client's shard size.
 func workSpecFor(spec nn.Spec, samples, epochs int) device.WorkSpec {
@@ -213,15 +245,36 @@ type localTrainResult struct {
 	accImprove  float64
 }
 
-// trainLocal clones the global model, runs local SGD under the technique's
-// semantic effects (frozen layers / pruned + quantized update), and
-// returns the transformed delta plus the reward signals.
-func trainLocal(global *nn.Model, shard, localTest []nn.Sample, tech opt.Technique,
-	cfg Config, round, clientID int, rng *rand.Rand) (localTrainResult, error) {
+// trainSeed is the per-(run, round, client) seed every stochastic stream
+// of one client round derives from. Keeping it a pure function of
+// (Seed, round, clientID) is what lets client rounds run on any worker in
+// any order and still reproduce the sequential schedule bit-for-bit.
+func trainSeed(cfg Config, round, clientID int) int64 {
+	return cfg.Seed*1_000_003 + int64(round)*10_007 + int64(clientID)
+}
+
+// updateRNGSalt decorrelates the update-transform stream (stochastic
+// quantization rounding) from the batch-shuffle stream nn.Train derives
+// from the same base seed.
+const updateRNGSalt = 0x5DEECE66D
+
+// trainLocal clones the model prototype, loads the `before` parameter
+// snapshot, runs local SGD under the technique's semantic effects (frozen
+// layers / pruned + quantized update), and returns the transformed delta
+// plus the reward signals. It touches no shared mutable state: proto and
+// before are only read, and all randomness comes from per-client streams
+// seeded by trainSeed — so concurrent calls for distinct (round, client)
+// pairs are race-free and order-independent.
+func trainLocal(proto *nn.Model, before tensor.Vector, shard, localTest []nn.Sample,
+	tech opt.Technique, cfg Config, round, clientID int) (localTrainResult, error) {
 
 	var res localTrainResult
-	local := global.Clone()
+	local := proto.Clone()
+	if err := local.SetParameters(before); err != nil {
+		return res, err
+	}
 	eff := tech.Effects()
+	seed := trainSeed(cfg, round, clientID)
 
 	accBefore, _ := local.Evaluate(localTest)
 	tc := nn.TrainConfig{
@@ -230,18 +283,18 @@ func trainLocal(global *nn.Model, shard, localTest []nn.Sample, tech opt.Techniq
 		LR:           cfg.LR,
 		GradClip:     cfg.GradClip,
 		FrozenLayers: opt.FrozenLayerMask(len(local.Layers), eff.PartialFrac),
-		Seed:         cfg.Seed*1_000_003 + int64(round)*10_007 + int64(clientID),
+		Seed:         seed,
 	}
 	if cfg.ProxMu > 0 {
 		tc.ProxMu = cfg.ProxMu
-		tc.ProxAnchor = global.Parameters()
+		tc.ProxAnchor = before
 	}
 	loss, err := local.Train(shard, tc)
 	if err != nil {
 		return res, err
 	}
 
-	before := global.Parameters()
+	rng := rand.New(rand.NewSource(seed ^ updateRNGSalt))
 	after := local.Parameters()
 	delta := after
 	delta.AddScaled(-1, before)

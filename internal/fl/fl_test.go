@@ -168,6 +168,11 @@ func TestRunSyncValidation(t *testing.T) {
 	if _, err := RunSync(fed, pop[:4], selection.NewRandom(1), NoOpController{}, smallConfig()); err == nil {
 		t.Fatal("accepted mismatched population")
 	}
+	// An empty population must error, not divide by zero on the mean
+	// shard size.
+	if _, err := RunSync(&data.Federation{}, nil, selection.NewRandom(1), NoOpController{}, smallConfig()); err == nil {
+		t.Fatal("accepted empty population")
+	}
 }
 
 func TestRunAsyncBasics(t *testing.T) {
@@ -232,6 +237,9 @@ func TestRunAsyncValidation(t *testing.T) {
 	}
 	if _, err := RunAsync(fed, pop[:4], NoOpController{}, smallConfig()); err == nil {
 		t.Fatal("accepted mismatched population")
+	}
+	if _, err := RunAsync(&data.Federation{}, nil, NoOpController{}, smallConfig()); err == nil {
+		t.Fatal("accepted empty population")
 	}
 }
 

@@ -1,0 +1,82 @@
+package fl
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the engines' parallel execution layer. Both engines fan the
+// per-client work of a round — device.Execute plus trainLocal, the two hot
+// paths — out to a pool of Parallelism workers, and collect results into a
+// slot-indexed array so everything order-sensitive (aggregation, ledger
+// records, selector feedback, controller feedback, logging) is applied in
+// the original dispatch order by a single goroutine.
+//
+// The determinism contract: for a fixed Config, Parallelism=N produces
+// bit-identical results to Parallelism=1. Three properties guarantee it:
+//
+//  1. Per-client work is a pure function of per-client state. Each job
+//     reads the shared global model only through Clone()/Parameters()
+//     (never mutated during a fan-out) and mutates only its own client's
+//     traces; its RNG is derived from (Seed, round, clientID), never
+//     shared.
+//  2. Results land in slots indexed by dispatch order, so the collector
+//     applies them in the same sequence regardless of which worker
+//     finished first.
+//  3. Every stateful callback (metrics.Ledger, selection.Selector.Observe,
+//     Controller.Feedback, RoundLogger) runs on the collector goroutine
+//     only — they stay single-threaded by construction.
+func defaultParallelism() int { return runtime.NumCPU() }
+
+// forEachSlot runs fn(slot) for every slot in [0, n) across up to
+// `parallelism` goroutines. fn must only write state owned by its slot;
+// the call returns once every slot has run. parallelism <= 1 runs inline,
+// which is the reference sequential schedule the parallel schedules must
+// match bit-for-bit.
+func forEachSlot(n, parallelism int, fn func(slot int)) {
+	if n <= 0 {
+		return
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(parallelism)
+	for w := 0; w < parallelism; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// hasDuplicateIDs reports whether a selection contains the same client
+// twice. Concurrent device.Execute calls are only safe across *distinct*
+// clients (each call mutates that client's battery/availability traces),
+// so a duplicate-bearing selection falls back to the sequential schedule —
+// which is bit-identical anyway.
+func hasDuplicateIDs(ids []int) bool {
+	seen := make(map[int]struct{}, len(ids))
+	for _, id := range ids {
+		if _, ok := seen[id]; ok {
+			return true
+		}
+		seen[id] = struct{}{}
+	}
+	return false
+}

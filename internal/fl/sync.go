@@ -8,9 +8,26 @@ import (
 	"floatfl/internal/device"
 	"floatfl/internal/metrics"
 	"floatfl/internal/nn"
+	"floatfl/internal/opt"
 	"floatfl/internal/selection"
 	"floatfl/internal/tensor"
 )
+
+// syncJob is one selected client's dispatch record: everything decided on
+// the single-threaded pass before the round fans out.
+type syncJob struct {
+	id   int
+	tech opt.Technique
+}
+
+// syncResult is what one worker produces for its slot. Workers write only
+// their own slot; the collector reads all slots in dispatch order.
+type syncResult struct {
+	out     device.Outcome
+	lt      localTrainResult
+	trained bool
+	err     error
+}
 
 // RunSync executes synchronous federated training: each round the selector
 // picks ClientsPerRound clients, every selected client trains locally under
@@ -18,12 +35,23 @@ import (
 // the round's wall clock is the slowest participant (or the deadline when
 // anyone timed out). This is the engine behind FedAvg, Oort, and REFL runs,
 // with or without FLOAT.
+//
+// Each round runs in three phases: a sequential dispatch pass (resource
+// snapshot + controller decision per client, in selection order), a
+// parallel fan-out (device.Execute + trainLocal against a snapshot of the
+// global model, Config.Parallelism workers), and a sequential collect pass
+// that applies deltas, ledger records, selector feedback, and controller
+// feedback in selection order. The fan-out schedule cannot influence the
+// results, so any Parallelism produces bit-identical output.
 func RunSync(fed *data.Federation, pop []*device.Client, sel selection.Selector,
 	ctrl Controller, cfg Config) (*Result, error) {
 
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if len(pop) == 0 {
+		return nil, fmt.Errorf("fl: population is empty")
 	}
 	if len(fed.Train) != len(pop) {
 		return nil, fmt.Errorf("fl: federation has %d clients, population has %d",
@@ -39,12 +67,7 @@ func RunSync(fed *data.Federation, pop []*device.Client, sel selection.Selector,
 		return nil, err
 	}
 
-	meanShard := 0
-	for _, s := range fed.Train {
-		meanShard += len(s)
-	}
-	meanShard /= len(fed.Train)
-	refWork := workSpecFor(spec, meanShard, cfg.Epochs)
+	refWork := workSpecFor(spec, meanShardSize(fed.Train), cfg.Epochs)
 
 	deadline := cfg.DeadlineSec
 	if deadline <= 0 {
@@ -76,47 +99,81 @@ func RunSync(fed *data.Federation, pop []*device.Client, sel selection.Selector,
 		}
 		ids := sel.Select(info, checkedIn, cfg.ClientsPerRound)
 
+		// Dispatch pass: snapshot resources and let the controller decide,
+		// in selection order, before anything executes. All decisions in a
+		// round therefore observe controller state as of the round start.
+		jobs := make([]syncJob, len(ids))
+		for slot, id := range ids {
+			snap := pop[id].ResourcesAt(round)
+			jobs[slot] = syncJob{id: id, tech: ctrl.Decide(round, pop[id], snap, hfDiff[id])}
+		}
+
+		// Fan-out: per-client cost-model execution and local training
+		// against a frozen snapshot of the global parameters. Concurrent
+		// device.Execute calls are safe only across distinct clients, so a
+		// duplicate-bearing selection degrades to the sequential schedule.
+		par := cfg.Parallelism
+		if hasDuplicateIDs(ids) {
+			par = 1
+		}
+		globalParams := global.Parameters()
+		results := make([]syncResult, len(jobs))
+		forEachSlot(len(jobs), par, func(slot int) {
+			j := jobs[slot]
+			work := workSpecFor(spec, len(fed.Train[j.id]), cfg.Epochs)
+			out, err := device.Execute(pop[j.id], round, work, j.tech, deadline)
+			if err != nil {
+				results[slot].err = err
+				return
+			}
+			results[slot].out = out
+			if !out.Completed {
+				return
+			}
+			lt, err := trainLocal(global, globalParams, fed.Train[j.id],
+				fed.LocalTest[j.id], j.tech, cfg, round, j.id)
+			if err != nil {
+				results[slot].err = err
+				return
+			}
+			results[slot].lt = lt
+			results[slot].trained = true
+		})
+
+		// Collect pass: apply every order-sensitive side effect in
+		// selection order on this goroutine. Ledger, selector, controller,
+		// and logger stay single-threaded by construction.
 		var deltas []tensor.Vector
 		var weights []float64
 		var roundWall float64
 		anyTimeout := false
-
-		for _, id := range ids {
-			c := pop[id]
-			shard := fed.Train[id]
-			work := workSpecFor(spec, len(shard), cfg.Epochs)
-			resSnap := c.ResourcesAt(round)
-			tech := ctrl.Decide(round, c, resSnap, hfDiff[id])
-
-			out, err := device.Execute(c, round, work, tech, deadline)
-			if err != nil {
-				return nil, err
+		for slot, j := range jobs {
+			r := results[slot]
+			if r.err != nil {
+				return nil, r.err
 			}
-			res.Ledger.Record(id, tech, out)
+			out := r.out
+			res.Ledger.Record(j.id, j.tech, out)
 			if out.Reason == device.DropDeadline {
 				anyTimeout = true
-				hfDiff[id] = out.DeadlineDiff
+				hfDiff[j.id] = out.DeadlineDiff
 			} else if out.Completed {
-				hfDiff[id] = 0
+				hfDiff[j.id] = 0
 			}
 
 			var statUtil, accImprove float64
-			if out.Completed {
-				lt, err := trainLocal(global, shard, fed.LocalTest[id], tech, cfg, round, id, rng)
-				if err != nil {
-					return nil, err
-				}
-				deltas = append(deltas, lt.delta)
-				weights = append(weights, lt.weight)
-				statUtil = lt.statUtility
-				accImprove = lt.accImprove
+			if r.trained {
+				deltas = append(deltas, r.lt.delta)
+				weights = append(weights, r.lt.weight)
+				statUtil = r.lt.statUtility
+				accImprove = r.lt.accImprove
 				if out.Cost.TotalSeconds > roundWall {
 					roundWall = out.Cost.TotalSeconds
 				}
 			}
-			sel.Observe(selection.Feedback{ClientID: id, Round: round, Outcome: out, StatUtility: statUtil})
-			ctrl.Feedback(round, c, tech, out, accImprove)
-			cfg.Logger.LogClientRound(clientRoundLog(round, id, tech, out, accImprove))
+			sel.Observe(selection.Feedback{ClientID: j.id, Round: round, Outcome: out, StatUtility: statUtil})
+			ctrl.Feedback(round, pop[j.id], j.tech, out, accImprove)
+			cfg.Logger.LogClientRound(clientRoundLog(round, j.id, j.tech, out, accImprove))
 		}
 
 		if err := applyAggregate(global, deltas, weights); err != nil {

@@ -38,9 +38,16 @@ type Feedback struct {
 }
 
 // Selector chooses k clients each round and learns from feedback.
+// Selectors are used single-threaded: the engines call Select on the
+// round's dispatch pass and Observe on the collect pass, in selection
+// order, from one goroutine — even when client execution itself is
+// parallel.
 type Selector interface {
 	Name() string
-	// Select returns the IDs of up to k clients from the pool.
+	// Select returns the IDs of up to k clients from the pool. The IDs
+	// should be distinct: the engines execute selected clients
+	// concurrently, which is only safe across distinct clients, and they
+	// fall back to sequential execution when a selection repeats an ID.
 	Select(info RoundInfo, pool []*device.Client, k int) []int
 	// Observe ingests the outcome of a client round.
 	Observe(fb Feedback)
