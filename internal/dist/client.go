@@ -10,6 +10,7 @@ import (
 
 	"floatfl/internal/nn"
 	"floatfl/internal/opt"
+	"floatfl/internal/tensor"
 )
 
 // newRand is a tiny indirection so server and client share seeding style.
@@ -100,7 +101,9 @@ func (c *Client) Step(round int) (bool, error) {
 	if err := c.model.UnmarshalBinary(task.Model); err != nil {
 		return false, err
 	}
-	before := c.model.Parameters()
+	// Parameters() aliases the model, which training is about to mutate:
+	// the pre-training snapshot must be a copy.
+	before := c.model.Parameters().Clone()
 	accBefore, _ := c.model.Evaluate(c.LocalTest)
 
 	eff := tech.Effects()
@@ -115,13 +118,13 @@ func (c *Client) Step(round int) (bool, error) {
 	if _, err := c.model.Train(c.Shard, tc); err != nil {
 		return false, err
 	}
-	delta := c.model.Parameters()
-	delta.AddScaled(-1, before)
+	delta := tensor.NewVector(c.model.NumParams())
+	tensor.ScaledDiff(delta, 1, c.model.Parameters(), before)
 	opt.ApplyToUpdate(tech, delta, c.rng)
 
-	applied := before.Clone()
-	applied.AddScaled(1, delta)
-	if err := c.model.SetParameters(applied); err != nil {
+	// Reuse the before-snapshot as the applied-parameters buffer.
+	before.AddScaled(1, delta)
+	if err := c.model.SetParameters(before); err != nil {
 		return false, err
 	}
 	accAfter, _ := c.model.Evaluate(c.LocalTest)

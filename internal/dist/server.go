@@ -243,14 +243,13 @@ func (s *Server) aggregateLocked() error {
 	for _, w := range s.weights {
 		totalW += w
 	}
-	agg := tensor.NewVector(s.global.NumParams())
-	for i, d := range s.deltas {
-		agg.AddScaled(s.weights[i]/totalW, d)
-	}
-	params := s.global.Parameters()
-	params.AddScaled(1, agg)
-	if err := s.global.SetParameters(params); err != nil {
-		return err
+	if totalW > 0 {
+		// Accumulate the weighted mean straight into the global flat buffer
+		// (Parameters is a zero-copy view).
+		for i := range s.weights {
+			s.weights[i] /= totalW
+		}
+		tensor.AddWeighted(s.global.Parameters(), s.weights, s.deltas)
 	}
 	s.deltas = s.deltas[:0]
 	s.weights = s.weights[:0]

@@ -20,7 +20,7 @@ func aggModel(t *testing.T) *nn.Model {
 
 func TestApplyAggregateWeightedMean(t *testing.T) {
 	m := aggModel(t)
-	before := m.Parameters()
+	before := m.Parameters().Clone()
 	n := m.NumParams()
 	d1 := tensor.NewVector(n)
 	d1.Fill(1)
@@ -40,7 +40,7 @@ func TestApplyAggregateWeightedMean(t *testing.T) {
 
 func TestApplyAggregateEmptyAndZeroWeights(t *testing.T) {
 	m := aggModel(t)
-	before := m.Parameters()
+	before := m.Parameters().Clone()
 	if err := applyAggregate(m, nil, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestApplyAggregateEmptyAndZeroWeights(t *testing.T) {
 
 func TestApplyAggregateDiscardsNonFinite(t *testing.T) {
 	m := aggModel(t)
-	before := m.Parameters()
+	before := m.Parameters().Clone()
 	n := m.NumParams()
 
 	good := tensor.NewVector(n)
@@ -90,7 +90,7 @@ func TestApplyAggregateDiscardsNonFinite(t *testing.T) {
 
 func TestApplyAggregateAllPoisoned(t *testing.T) {
 	m := aggModel(t)
-	before := m.Parameters()
+	before := m.Parameters().Clone()
 	bad := tensor.NewVector(m.NumParams())
 	bad[0] = math.NaN()
 	if err := applyAggregate(m, []tensor.Vector{bad}, []float64{1}); err != nil {
@@ -108,7 +108,7 @@ func TestApplyAggregateZeroCompletedClients(t *testing.T) {
 	// A round where every selected client dropped out aggregates nothing:
 	// empty and nil slices must both be no-ops, not panics.
 	m := aggModel(t)
-	before := m.Parameters()
+	before := m.Parameters().Clone()
 	if err := applyAggregate(m, []tensor.Vector{}, []float64{}); err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestApplyAggregateAllZeroWeights(t *testing.T) {
 	// Weights can all be zero (e.g. every completed client had an empty
 	// shard); total weight 0 must not divide.
 	m := aggModel(t)
-	before := m.Parameters()
+	before := m.Parameters().Clone()
 	n := m.NumParams()
 	d1 := tensor.NewVector(n)
 	d1.Fill(2)
@@ -145,7 +145,7 @@ func TestApplyAggregateSingleClientRound(t *testing.T) {
 	// One completed client: its delta applies at full strength regardless
 	// of its absolute weight.
 	m := aggModel(t)
-	before := m.Parameters()
+	before := m.Parameters().Clone()
 	d := tensor.NewVector(m.NumParams())
 	d.Fill(0.25)
 	if err := applyAggregate(m, []tensor.Vector{d}, []float64{17}); err != nil {

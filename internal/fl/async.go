@@ -124,8 +124,9 @@ func RunAsync(fed *data.Federation, pop []*device.Client, ctrl Controller, cfg C
 
 	// Version-indexed snapshots of global parameters for stale training.
 	// Snapshot vectors are immutable once stored: pending training jobs
-	// read them concurrently.
-	versions := map[int]tensor.Vector{0: global.Parameters()}
+	// read them concurrently. Parameters() aliases the (mutating) global
+	// model, so every snapshot must be cloned.
+	versions := map[int]tensor.Vector{0: global.Parameters().Clone()}
 	version := 0
 
 	inFlight := make(map[int]bool, cfg.Concurrency)
@@ -172,6 +173,7 @@ func RunAsync(fed *data.Federation, pop []*device.Client, ctrl Controller, cfg C
 
 	var pendingJobs []asyncTrainJob
 	var pendingEvents []asyncEvent
+	pool := newContextPool(global)
 
 	aggregations := 0
 	evalCountdown := cfg.EvalEvery
@@ -230,9 +232,11 @@ func RunAsync(fed *data.Federation, pop []*device.Client, ctrl Controller, cfg C
 		// (the global model is frozen until the batch is applied), then
 		// collect in pop order on this goroutine.
 		jobs := pendingJobs
-		forEachSlot(len(jobs), cfg.Parallelism, func(slot int) {
+		pool.ensure(cfg.Parallelism, len(jobs))
+		forEachSlot(len(jobs), cfg.Parallelism, func(worker, slot int) {
 			j := &jobs[slot]
-			j.lt, j.err = trainLocal(global, j.startParams, fed.Train[j.clientID],
+			j.lt, j.err = trainLocal(pool.ctx(worker), pool.delta(slot), global,
+				j.startParams, fed.Train[j.clientID],
 				fed.LocalTest[j.clientID], j.tech, cfg, j.round, j.clientID)
 		})
 		for i := range jobs {
@@ -263,7 +267,7 @@ func RunAsync(fed *data.Federation, pop []*device.Client, ctrl Controller, cfg C
 			return nil, err
 		}
 		version++
-		versions[version] = global.Parameters()
+		versions[version] = global.Parameters().Clone()
 		delete(versions, version-cfg.StalenessCap-1)
 		aggregations++
 		evalCountdown--

@@ -1,0 +1,77 @@
+package fl
+
+import (
+	"math/rand"
+
+	"floatfl/internal/nn"
+	"floatfl/internal/tensor"
+)
+
+// trainContext is the per-worker scratch for trainLocal: one local model
+// clone plus the buffers a client round needs. Contexts are created empty
+// and populated lazily on first use, then reused for every subsequent
+// client round that worker executes — so steady-state rounds allocate
+// nothing.
+//
+// A context belongs to exactly one worker goroutine for the duration of a
+// fan-out; the pool itself is only grown on the single-threaded dispatch
+// pass (contextPool.ensure).
+type trainContext struct {
+	local     *nn.Model     // reusable local model, re-loaded per client
+	applied   tensor.Vector // before + transformed delta scratch
+	updateRNG *rand.Rand    // update-transform stream, reseeded per client
+}
+
+// ensure lazily builds the context's model and scratch for proto's
+// architecture.
+func (c *trainContext) ensure(proto *nn.Model) {
+	if c.local == nil {
+		c.local = proto.Clone()
+		c.applied = tensor.NewVector(proto.NumParams())
+	}
+}
+
+// seedUpdateRNG resets the context's update-transform stream to the given
+// seed, producing the same stream as a fresh rand.New(rand.NewSource(seed))
+// without allocating.
+func (c *trainContext) seedUpdateRNG(seed int64) *rand.Rand {
+	if c.updateRNG == nil {
+		c.updateRNG = rand.New(rand.NewSource(seed))
+	} else {
+		c.updateRNG.Seed(seed)
+	}
+	return c.updateRNG
+}
+
+// contextPool owns the engines' reusable training state: one trainContext
+// per worker (models and scratch follow the worker, whichever slots it
+// steals) and one delta buffer per slot (a delta must survive until the
+// ordered collect pass consumes it, after the whole fan-out completes).
+//
+// ensure must be called on the single-threaded pass before each fan-out;
+// workers then access disjoint contexts (by worker index) and disjoint
+// delta buffers (by slot index) without synchronization.
+type contextPool struct {
+	proto   *nn.Model
+	workers []*trainContext
+	deltas  []tensor.Vector
+}
+
+func newContextPool(proto *nn.Model) *contextPool {
+	return &contextPool{proto: proto}
+}
+
+// ensure grows the pool to at least `workers` contexts and `slots` delta
+// buffers. Contexts start empty (their model is built on first use), so
+// over-provisioned workers cost nothing.
+func (p *contextPool) ensure(workers, slots int) {
+	for len(p.workers) < workers {
+		p.workers = append(p.workers, &trainContext{})
+	}
+	for len(p.deltas) < slots {
+		p.deltas = append(p.deltas, tensor.NewVector(p.proto.NumParams()))
+	}
+}
+
+func (p *contextPool) ctx(worker int) *trainContext { return p.workers[worker] }
+func (p *contextPool) delta(slot int) tensor.Vector { return p.deltas[slot] }

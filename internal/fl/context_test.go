@@ -1,0 +1,132 @@
+package fl
+
+import (
+	"math/rand"
+	"testing"
+
+	"floatfl/internal/data"
+	"floatfl/internal/nn"
+	"floatfl/internal/opt"
+	"floatfl/internal/trace"
+)
+
+// BenchmarkTrainLocal measures one steady-state client round against a warm
+// trainContext. The flat-parameter refactor's contract is that this path
+// allocates nothing: the context owns the local model and scratch, the slot
+// owns the delta buffer, and nn.Train reuses its RNG/order/gradient state.
+func BenchmarkTrainLocal(b *testing.B) {
+	fed, err := data.Generate("femnist", data.GenerateConfig{Clients: 8, Alpha: 0.1, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{
+		Arch: "resnet18", Rounds: 1, ClientsPerRound: 1,
+		Epochs: 2, BatchSize: 16, LR: 0.1, Seed: 5,
+	}.withDefaults()
+	proto, err := nn.NewModel(cfg.Arch, fed.Profile.Dim, fed.Profile.Classes,
+		rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	before := proto.Parameters().Clone()
+	pool := newContextPool(proto)
+	pool.ensure(1, 1)
+
+	// Warm up: first call builds the context's model and scratch.
+	if _, err := trainLocal(pool.ctx(0), pool.delta(0), proto, before,
+		fed.Train[0], fed.LocalTest[0], opt.TechNone, cfg, 0, 0); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trainLocal(pool.ctx(0), pool.delta(0), proto, before,
+			fed.Train[0], fed.LocalTest[0], opt.TechNone, cfg, 1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestTrainContextReuseMatchesFreshContext pins the reuse semantics: a
+// context that has already executed other client rounds must produce
+// bit-identical results to a brand-new one, because every piece of cached
+// state (model parameters, RNG streams, order scratch) is re-initialized
+// per call.
+func TestTrainContextReuseMatchesFreshContext(t *testing.T) {
+	fed, _ := testSetup(t, 4, trace.ScenarioNone)
+	cfg := smallConfig().withDefaults()
+	proto, err := nn.NewModel(cfg.Arch, fed.Profile.Dim, fed.Profile.Classes,
+		rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := proto.Parameters().Clone()
+
+	// Warm context: run two unrelated client rounds first.
+	warm := &trainContext{}
+	warmDelta := make([]float64, proto.NumParams())
+	for id := 1; id <= 2; id++ {
+		if _, err := trainLocal(warm, warmDelta, proto, before,
+			fed.Train[id], fed.LocalTest[id], opt.TechQuant8, cfg, 0, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gotWarm, err := trainLocal(warm, warmDelta, proto, before,
+		fed.Train[0], fed.LocalTest[0], opt.TechQuant8, cfg, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := &trainContext{}
+	freshDelta := make([]float64, proto.NumParams())
+	gotFresh, err := trainLocal(fresh, freshDelta, proto, before,
+		fed.Train[0], fed.LocalTest[0], opt.TechQuant8, cfg, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if gotWarm.weight != gotFresh.weight ||
+		gotWarm.statUtility != gotFresh.statUtility ||
+		gotWarm.accImprove != gotFresh.accImprove {
+		t.Fatalf("warm context result differs: %+v vs %+v", gotWarm, gotFresh)
+	}
+	for i := range gotWarm.delta {
+		if gotWarm.delta[i] != gotFresh.delta[i] {
+			t.Fatalf("warm context delta differs at %d: %v vs %v",
+				i, gotWarm.delta[i], gotFresh.delta[i])
+		}
+	}
+}
+
+// TestContextPoolEnsureGrowsMonotonically checks pool growth and identity
+// stability: ensure never shrinks, and existing contexts/buffers keep their
+// identity so cached models survive.
+func TestContextPoolEnsureGrowsMonotonically(t *testing.T) {
+	proto, err := nn.NewModel("mlp-small", 8, 4, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := newContextPool(proto)
+	pool.ensure(2, 3)
+	c0 := pool.ctx(0)
+	d0 := &pool.delta(0)[0]
+	pool.ensure(4, 8)
+	if pool.ctx(0) != c0 {
+		t.Fatal("ensure replaced an existing context")
+	}
+	if &pool.delta(0)[0] != d0 {
+		t.Fatal("ensure replaced an existing delta buffer")
+	}
+	pool.ensure(1, 1)
+	if len(pool.workers) != 4 || len(pool.deltas) != 8 {
+		t.Fatalf("ensure shrank the pool: %d workers, %d deltas",
+			len(pool.workers), len(pool.deltas))
+	}
+	for slot := 0; slot < 8; slot++ {
+		if len(pool.delta(slot)) != proto.NumParams() {
+			t.Fatalf("delta %d has %d scalars, want %d",
+				slot, len(pool.delta(slot)), proto.NumParams())
+		}
+	}
+}

@@ -11,7 +11,6 @@ package fl
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"floatfl/internal/data"
 	"floatfl/internal/device"
@@ -258,18 +257,23 @@ func trainSeed(cfg Config, round, clientID int) int64 {
 // from the same base seed.
 const updateRNGSalt = 0x5DEECE66D
 
-// trainLocal clones the model prototype, loads the `before` parameter
-// snapshot, runs local SGD under the technique's semantic effects (frozen
-// layers / pruned + quantized update), and returns the transformed delta
-// plus the reward signals. It touches no shared mutable state: proto and
-// before are only read, and all randomness comes from per-client streams
-// seeded by trainSeed — so concurrent calls for distinct (round, client)
-// pairs are race-free and order-independent.
-func trainLocal(proto *nn.Model, before tensor.Vector, shard, localTest []nn.Sample,
+// trainLocal loads the `before` parameter snapshot into the context's
+// reusable local model, runs local SGD under the technique's semantic
+// effects (frozen layers / pruned + quantized update), and writes the
+// transformed delta into the caller-provided slot buffer, returning it
+// plus the reward signals. It touches no shared mutable state: before is
+// only read, all mutable scratch lives in ctx (owned by one worker) or
+// delta (owned by one slot), and all randomness comes from per-client
+// streams seeded by trainSeed — so concurrent calls for distinct
+// (round, client) pairs on distinct contexts are race-free and
+// order-independent. Steady-state calls allocate nothing.
+func trainLocal(ctx *trainContext, delta tensor.Vector, proto *nn.Model,
+	before tensor.Vector, shard, localTest []nn.Sample,
 	tech opt.Technique, cfg Config, round, clientID int) (localTrainResult, error) {
 
 	var res localTrainResult
-	local := proto.Clone()
+	ctx.ensure(proto)
+	local := ctx.local
 	if err := local.SetParameters(before); err != nil {
 		return res, err
 	}
@@ -294,15 +298,14 @@ func trainLocal(proto *nn.Model, before tensor.Vector, shard, localTest []nn.Sam
 		return res, err
 	}
 
-	rng := rand.New(rand.NewSource(seed ^ updateRNGSalt))
-	after := local.Parameters()
-	delta := after
-	delta.AddScaled(-1, before)
+	rng := ctx.seedUpdateRNG(seed ^ updateRNGSalt)
+	tensor.ScaledDiff(delta, 1, local.Parameters(), before)
 	opt.ApplyToUpdate(tech, delta, rng)
 
 	// Accuracy improvement the client would see if it adopted its own
 	// (transformed) update — the Acc_i reward component.
-	applied := before.Clone()
+	applied := ctx.applied
+	copy(applied, before)
 	applied.AddScaled(1, delta)
 	if err := local.SetParameters(applied); err != nil {
 		return res, err
@@ -311,14 +314,18 @@ func trainLocal(proto *nn.Model, before tensor.Vector, shard, localTest []nn.Sam
 
 	res.delta = delta
 	res.weight = float64(len(shard))
-	// Oort's statistical utility: |B| × sqrt(mean squared loss); the final
-	// epoch loss is the available proxy.
-	res.statUtility = float64(len(shard)) * math.Sqrt(loss*loss)
+	// Oort's statistical utility for a client is |B_i| · sqrt(mean squared
+	// sample loss over its shard B_i). The engine only sees the mean final
+	// epoch loss, so |B|·|loss| is the standard single-scalar proxy (loss
+	// is a mean of non-negative cross-entropies, but |·| guards the FedProx
+	// path where the reported value could in principle go negative).
+	res.statUtility = float64(len(shard)) * math.Abs(loss)
 	res.accImprove = accAfter - accBefore
 	return res, nil
 }
 
-// applyAggregate adds the weighted mean of deltas into the global model.
+// applyAggregate accumulates the weighted mean of deltas directly into the
+// global model's flat parameter buffer (no intermediate aggregate vector).
 // Non-finite deltas (a diverged or malicious client) are discarded rather
 // than allowed to poison the global model.
 func applyAggregate(global *nn.Model, deltas []tensor.Vector, weights []float64) error {
@@ -339,13 +346,11 @@ func applyAggregate(global *nn.Model, deltas []tensor.Vector, weights []float64)
 	if totalW <= 0 {
 		return nil
 	}
-	agg := tensor.NewVector(global.NumParams())
-	for i, d := range kept {
-		agg.AddScaled(keptW[i]/totalW, d)
+	for i := range keptW {
+		keptW[i] /= totalW
 	}
-	params := global.Parameters()
-	params.AddScaled(1, agg)
-	return global.SetParameters(params)
+	tensor.AddWeighted(global.Parameters(), keptW, kept)
+	return nil
 }
 
 func isFinite(v tensor.Vector) bool {

@@ -29,12 +29,14 @@ import (
 //     only — they stay single-threaded by construction.
 func defaultParallelism() int { return runtime.NumCPU() }
 
-// forEachSlot runs fn(slot) for every slot in [0, n) across up to
-// `parallelism` goroutines. fn must only write state owned by its slot;
-// the call returns once every slot has run. parallelism <= 1 runs inline,
-// which is the reference sequential schedule the parallel schedules must
-// match bit-for-bit.
-func forEachSlot(n, parallelism int, fn func(slot int)) {
+// forEachSlot runs fn(worker, slot) for every slot in [0, n) across up to
+// `parallelism` goroutines. worker identifies the executing goroutine
+// (0 ≤ worker < parallelism) so fn can use per-worker scratch (see
+// contextPool); fn must only write state owned by its slot or its worker.
+// The call returns once every slot has run. parallelism <= 1 runs inline
+// as worker 0, which is the reference sequential schedule the parallel
+// schedules must match bit-for-bit.
+func forEachSlot(n, parallelism int, fn func(worker, slot int)) {
 	if n <= 0 {
 		return
 	}
@@ -43,7 +45,7 @@ func forEachSlot(n, parallelism int, fn func(slot int)) {
 	}
 	if parallelism <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -51,16 +53,16 @@ func forEachSlot(n, parallelism int, fn func(slot int)) {
 	var wg sync.WaitGroup
 	wg.Add(parallelism)
 	for w := 0; w < parallelism; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(worker, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

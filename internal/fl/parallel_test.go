@@ -177,9 +177,20 @@ func TestForEachSlot(t *testing.T) {
 		{0, 4}, {1, 1}, {1, 8}, {5, 1}, {7, 3}, {16, 32}, {100, 8},
 	} {
 		visits := make([]int32, tc.n)
-		forEachSlot(tc.n, tc.par, func(slot int) {
+		maxWorkers := tc.par
+		if tc.n < maxWorkers {
+			maxWorkers = tc.n
+		}
+		var badWorker int32
+		forEachSlot(tc.n, tc.par, func(worker, slot int) {
+			if worker < 0 || worker >= maxWorkers {
+				atomic.StoreInt32(&badWorker, int32(worker)+1)
+			}
 			atomic.AddInt32(&visits[slot], 1)
 		})
+		if badWorker != 0 {
+			t.Fatalf("n=%d par=%d: worker index %d out of range", tc.n, tc.par, badWorker-1)
+		}
 		for i, v := range visits {
 			if v != 1 {
 				t.Fatalf("n=%d par=%d: slot %d visited %d times", tc.n, tc.par, i, v)

@@ -83,6 +83,10 @@ func RunSync(fed *data.Federation, pop []*device.Client, sel selection.Selector,
 	// hfDiff tracks the latest deadline-difference human feedback per client.
 	hfDiff := make([]float64, len(pop))
 
+	// Reusable per-worker training contexts and per-slot delta buffers:
+	// grown once, then every steady-state client round allocates nothing.
+	pool := newContextPool(global)
+
 	for round := 0; round < cfg.Rounds; round++ {
 		info := selection.RoundInfo{Round: round, Work: refWork, DeadlineSec: deadline}
 		// Real FL servers dispatch only to clients that checked in: filter
@@ -116,9 +120,12 @@ func RunSync(fed *data.Federation, pop []*device.Client, sel selection.Selector,
 		if hasDuplicateIDs(ids) {
 			par = 1
 		}
+		pool.ensure(par, len(jobs))
+		// Parameters() is a zero-copy view; it is safe to share across the
+		// fan-out because the global model is frozen until applyAggregate.
 		globalParams := global.Parameters()
 		results := make([]syncResult, len(jobs))
-		forEachSlot(len(jobs), par, func(slot int) {
+		forEachSlot(len(jobs), par, func(worker, slot int) {
 			j := jobs[slot]
 			work := workSpecFor(spec, len(fed.Train[j.id]), cfg.Epochs)
 			out, err := device.Execute(pop[j.id], round, work, j.tech, deadline)
@@ -130,7 +137,8 @@ func RunSync(fed *data.Federation, pop []*device.Client, sel selection.Selector,
 			if !out.Completed {
 				return
 			}
-			lt, err := trainLocal(global, globalParams, fed.Train[j.id],
+			lt, err := trainLocal(pool.ctx(worker), pool.delta(slot), global,
+				globalParams, fed.Train[j.id],
 				fed.LocalTest[j.id], j.tech, cfg, round, j.id)
 			if err != nil {
 				results[slot].err = err

@@ -9,12 +9,18 @@ import (
 
 // Layer is the interface every trainable layer implements; Model composes
 // a pipeline of Layers. Dense and Conv1D are the built-in implementations.
+//
+// Storage contract: a layer created by its constructor owns its parameter
+// and gradient storage. A Model rebinds every layer into its contiguous
+// flat buffers via Bind, after which Params/Grads return views that alias
+// the model's flat vectors.
 type Layer interface {
 	// Forward runs the layer; the returned slice is owned by the layer and
 	// overwritten on the next call.
 	Forward(x tensor.Vector) tensor.Vector
 	// Backward consumes dL/dOut (which it may modify), accumulates
-	// parameter gradients, and returns dL/dIn.
+	// parameter gradients, and returns dL/dIn. The returned slice is owned
+	// by the layer and overwritten on the next call.
 	Backward(grad tensor.Vector) tensor.Vector
 	// ZeroGrad clears accumulated gradients.
 	ZeroGrad()
@@ -29,6 +35,14 @@ type Layer interface {
 	Grads() []tensor.Vector
 	// OutDim is the output vector length.
 	OutDim() int
+	// Clone returns an independent copy of the layer — same shape and
+	// parameter values, freshly allocated storage and scratch buffers.
+	// Model.Clone rebinds the copy into the new model's flat buffers.
+	Clone() Layer
+	// Bind moves the layer's parameters and gradients into the provided
+	// buffers (each exactly NumParams long): current values are copied in
+	// and the layer's storage is re-pointed at views of the buffers.
+	Bind(params, grads tensor.Vector)
 }
 
 var (
@@ -58,6 +72,7 @@ type Conv1D struct {
 	in      tensor.Vector
 	preAct  tensor.Vector
 	out     tensor.Vector
+	gradIn  tensor.Vector
 }
 
 // NewConv1D builds a convolution layer for inputs of length inWidth.
@@ -80,6 +95,7 @@ func NewConv1D(inWidth, filters, kernel int, act Activation, rng *rand.Rand) *Co
 	outW := c.outWidth()
 	c.preAct = tensor.NewVector(filters * outW)
 	c.out = tensor.NewVector(filters * outW)
+	c.gradIn = tensor.NewVector(inWidth)
 	return c
 }
 
@@ -147,7 +163,8 @@ func (c *Conv1D) Backward(grad tensor.Vector) tensor.Vector {
 			}
 		}
 	}
-	gradIn := tensor.NewVector(c.inWidth)
+	gradIn := c.gradIn
+	gradIn.Zero()
 	for f := 0; f < c.Filters; f++ {
 		taps := c.W.Row(f)
 		gtaps := c.GradW.Row(f)
@@ -183,8 +200,8 @@ func (c *Conv1D) ApplySGD(lr, clip float64) {
 	c.B.AddScaled(-lr, c.GradB)
 }
 
-// clone returns a deep copy (used by Model.Clone).
-func (c *Conv1D) clone() *Conv1D {
+// Clone implements Layer.
+func (c *Conv1D) Clone() Layer {
 	nc := &Conv1D{
 		Filters: c.Filters,
 		Kernel:  c.Kernel,
@@ -197,5 +214,23 @@ func (c *Conv1D) clone() *Conv1D {
 	}
 	nc.preAct = tensor.NewVector(c.Filters * c.outWidth())
 	nc.out = tensor.NewVector(c.Filters * c.outWidth())
+	nc.gradIn = tensor.NewVector(c.inWidth)
 	return nc
+}
+
+// Bind implements Layer: kernels first (row-major), then biases.
+func (c *Conv1D) Bind(params, grads tensor.Vector) {
+	nw := len(c.W.Data)
+	n := nw + len(c.B)
+	if len(params) != n || len(grads) != n {
+		panic(fmt.Sprintf("nn: Conv1D.Bind got %d/%d scalars, want %d", len(params), len(grads), n))
+	}
+	copy(params[:nw], c.W.Data)
+	copy(params[nw:], c.B)
+	copy(grads[:nw], c.GradW.Data)
+	copy(grads[nw:], c.GradB)
+	c.W.Data = params[:nw:nw]
+	c.B = params[nw:n:n]
+	c.GradW.Data = grads[:nw:nw]
+	c.GradB = grads[nw:n:n]
 }

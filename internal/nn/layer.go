@@ -9,6 +9,12 @@
 // the true model scale; the device cost model consumes the reference
 // numbers so simulated training and communication times reflect real
 // workloads.
+//
+// Memory layout: a Model keeps every trainable scalar in one contiguous
+// flat parameter vector with a parallel flat gradient vector; layers hold
+// aliasing views into those buffers (see DESIGN.md "Flat parameter memory
+// layout"). A layer constructed directly (e.g. vfl's standalone Dense
+// towers) owns its storage until a Model binds it.
 package nn
 
 import (
@@ -39,6 +45,7 @@ type Dense struct {
 	in     tensor.Vector // last input (aliases caller data)
 	preAct tensor.Vector // W·x + b before activation
 	out    tensor.Vector // activated output
+	gradIn tensor.Vector // dL/dIn returned by Backward, reused per call
 
 	// Gradient accumulators, matched elementwise to W and B.
 	GradW *tensor.Matrix
@@ -57,6 +64,7 @@ func NewDense(in, out int, act Activation, rng *rand.Rand) *Dense {
 	tensor.XavierInto(d.W.Data, in, out, rng)
 	d.preAct = tensor.NewVector(out)
 	d.out = tensor.NewVector(out)
+	d.gradIn = tensor.NewVector(in)
 	return d
 }
 
@@ -94,7 +102,8 @@ func (d *Dense) Forward(x tensor.Vector) tensor.Vector {
 }
 
 // Backward consumes dL/dOut, accumulates dL/dW and dL/dB into the gradient
-// buffers, and returns dL/dIn. gradOut may be modified in place.
+// buffers, and returns dL/dIn. gradOut may be modified in place; the
+// returned slice is owned by the layer and overwritten on the next call.
 func (d *Dense) Backward(gradOut tensor.Vector) tensor.Vector {
 	if len(gradOut) != d.W.Rows {
 		panic(fmt.Sprintf("nn: Dense.Backward grad %d, want %d", len(gradOut), d.W.Rows))
@@ -108,9 +117,8 @@ func (d *Dense) Backward(gradOut tensor.Vector) tensor.Vector {
 	}
 	d.GradB.AddScaled(1, gradOut)
 	d.GradW.AddOuterScaled(1, gradOut, d.in)
-	gradIn := tensor.NewVector(d.W.Cols)
-	d.W.MatVecT(gradIn, gradOut)
-	return gradIn
+	d.W.MatVecT(d.gradIn, gradOut)
+	return d.gradIn
 }
 
 // ZeroGrad clears the accumulated gradients.
@@ -136,8 +144,8 @@ func (d *Dense) Params() []tensor.Vector { return []tensor.Vector{d.W.Data, d.B}
 // Grads implements Layer.
 func (d *Dense) Grads() []tensor.Vector { return []tensor.Vector{d.GradW.Data, d.GradB} }
 
-// clone returns a deep copy (used by Model.Clone).
-func (d *Dense) clone() *Dense {
+// Clone implements Layer.
+func (d *Dense) Clone() Layer {
 	nd := &Dense{
 		W:     d.W.Clone(),
 		B:     d.B.Clone(),
@@ -147,5 +155,23 @@ func (d *Dense) clone() *Dense {
 	}
 	nd.preAct = tensor.NewVector(d.W.Rows)
 	nd.out = tensor.NewVector(d.W.Rows)
+	nd.gradIn = tensor.NewVector(d.W.Cols)
 	return nd
+}
+
+// Bind implements Layer: weights first (row-major), then biases.
+func (d *Dense) Bind(params, grads tensor.Vector) {
+	nw := d.W.Rows * d.W.Cols
+	n := nw + len(d.B)
+	if len(params) != n || len(grads) != n {
+		panic(fmt.Sprintf("nn: Dense.Bind got %d/%d scalars, want %d", len(params), len(grads), n))
+	}
+	copy(params[:nw], d.W.Data)
+	copy(params[nw:], d.B)
+	copy(grads[:nw], d.GradW.Data)
+	copy(grads[nw:], d.GradB)
+	d.W.Data = params[:nw:nw]
+	d.B = params[nw:n:n]
+	d.GradW.Data = grads[:nw:nw]
+	d.GradB = grads[nw:n:n]
 }

@@ -62,14 +62,31 @@ func ArchNames() []string {
 
 // Model is a feed-forward classifier assembled from Layers (an optional
 // Conv1D front-end followed by Dense layers).
+//
+// All trainable scalars live in one contiguous flat parameter vector with
+// a parallel flat gradient vector; every layer's W/B/GradW/GradB are views
+// into those two buffers (rebound by bindFlat). That makes Parameters a
+// zero-copy view, SetParameters a single copy, and the SGD step, gradient
+// clipping, and FedProx proximal term fused whole-buffer loops.
 type Model struct {
 	Spec   Spec
 	Layers []Layer
 	nIn    int
 	nOut   int
 
-	// probs is a scratch buffer for softmax outputs.
-	probs tensor.Vector
+	// params/grads are the flat buffers every layer aliases; offsets[i] is
+	// layer i's starting index (layers appear in pipeline order, each one
+	// weights-then-biases).
+	params  tensor.Vector
+	grads   tensor.Vector
+	offsets []int
+
+	// Scratch reused across training/evaluation calls so the steady-state
+	// hot path allocates nothing.
+	probs    tensor.Vector // softmax outputs
+	lossGrad tensor.Vector // dL/dlogits per sample
+	order    []int         // shuffled sample order, grown on demand
+	trainRNG *rand.Rand    // shuffle stream, reseeded per Train call
 }
 
 // NewModel builds a model for the named architecture with the given input
@@ -82,7 +99,7 @@ func NewModel(arch string, inDim, outDim int, rng *rand.Rand) (*Model, error) {
 	if inDim <= 0 || outDim <= 0 {
 		return nil, fmt.Errorf("nn: invalid model dims in=%d out=%d", inDim, outDim)
 	}
-	m := &Model{Spec: spec, nIn: inDim, nOut: outDim, probs: tensor.NewVector(outDim)}
+	m := &Model{Spec: spec, nIn: inDim, nOut: outDim}
 	prev := inDim
 	if spec.ConvFilters > 0 && spec.ConvKernel > 0 {
 		if inDim < spec.ConvKernel {
@@ -103,7 +120,34 @@ func NewModel(arch string, inDim, outDim int, rng *rand.Rand) (*Model, error) {
 		prev = h
 	}
 	m.Layers = append(m.Layers, NewDense(prev, outDim, ActNone, rng))
+	m.bindFlat()
 	return m, nil
+}
+
+// bindFlat allocates the model's flat parameter/gradient buffers and
+// rebinds every layer's storage into them (Bind copies the layers' current
+// values, so construction-time initialization survives).
+func (m *Model) bindFlat() {
+	n := 0
+	m.offsets = make([]int, len(m.Layers))
+	for i, l := range m.Layers {
+		m.offsets[i] = n
+		n += l.NumParams()
+	}
+	m.params = tensor.NewVector(n)
+	m.grads = tensor.NewVector(n)
+	for i, l := range m.Layers {
+		off, end := m.offsets[i], m.offsets[i]+l.NumParams()
+		l.Bind(m.params[off:end:end], m.grads[off:end:end])
+	}
+	m.probs = tensor.NewVector(m.nOut)
+	m.lossGrad = tensor.NewVector(m.nOut)
+}
+
+// layerRange returns layer i's [start, end) slice bounds in the flat
+// buffers.
+func (m *Model) layerRange(i int) (int, int) {
+	return m.offsets[i], m.offsets[i] + m.Layers[i].NumParams()
 }
 
 // InDim returns the model input dimensionality.
@@ -114,13 +158,7 @@ func (m *Model) OutDim() int { return m.nOut }
 
 // NumParams returns the total number of trainable scalars (of the small
 // trained network, not the reference architecture).
-func (m *Model) NumParams() int {
-	n := 0
-	for _, l := range m.Layers {
-		n += l.NumParams()
-	}
-	return n
-}
+func (m *Model) NumParams() int { return len(m.params) }
 
 // Forward computes the logits for one sample. The returned slice is owned
 // by the final layer and overwritten on the next call.
@@ -132,49 +170,36 @@ func (m *Model) Forward(x tensor.Vector) tensor.Vector {
 	return h
 }
 
-// Parameters copies all trainable scalars into a single flat vector, layer
-// by layer (weights row-major, then biases).
-func (m *Model) Parameters() tensor.Vector {
-	out := tensor.NewVector(m.NumParams())
-	i := 0
-	for _, l := range m.Layers {
-		for _, p := range l.Params() {
-			i += copy(out[i:], p)
-		}
-	}
-	return out
-}
+// Parameters returns the model's flat parameter vector, layer by layer
+// (weights row-major, then biases). The returned vector ALIASES the model's
+// storage — it is a zero-copy view, not a snapshot. Mutating it mutates the
+// model; callers that need a frozen copy must Clone it.
+func (m *Model) Parameters() tensor.Vector { return m.params }
+
+// Gradients returns the model's flat gradient vector (a zero-copy view,
+// parallel to Parameters).
+func (m *Model) Gradients() tensor.Vector { return m.grads }
 
 // SetParameters loads a flat vector produced by Parameters back into the
-// model. It returns an error on length mismatch.
+// model with a single copy. It returns an error on length mismatch.
+// p may alias the model's own storage (the copy is then a no-op).
 func (m *Model) SetParameters(p tensor.Vector) error {
-	if len(p) != m.NumParams() {
-		return fmt.Errorf("nn: SetParameters got %d scalars, want %d", len(p), m.NumParams())
+	if len(p) != len(m.params) {
+		return fmt.Errorf("nn: SetParameters got %d scalars, want %d", len(p), len(m.params))
 	}
-	i := 0
-	for _, l := range m.Layers {
-		for _, dst := range l.Params() {
-			i += copy(dst, p[i:i+len(dst)])
-		}
-	}
+	copy(m.params, p)
 	return nil
 }
 
-// Clone returns a deep copy of the model sharing no storage.
+// Clone returns a deep copy of the model sharing no storage: the clone gets
+// its own flat buffers and every cloned layer is rebound into them.
 func (m *Model) Clone() *Model {
-	c := &Model{Spec: m.Spec, nIn: m.nIn, nOut: m.nOut, probs: tensor.NewVector(m.nOut)}
-	for _, l := range m.Layers {
-		switch t := l.(type) {
-		case *Dense:
-			c.Layers = append(c.Layers, t.clone())
-		case *Conv1D:
-			c.Layers = append(c.Layers, t.clone())
-		case *MaxPool1D:
-			c.Layers = append(c.Layers, t.clone())
-		default:
-			panic(fmt.Sprintf("nn: Clone of unknown layer type %T", l))
-		}
+	c := &Model{Spec: m.Spec, nIn: m.nIn, nOut: m.nOut}
+	c.Layers = make([]Layer, len(m.Layers))
+	for i, l := range m.Layers {
+		c.Layers[i] = l.Clone()
 	}
+	c.bindFlat()
 	return c
 }
 
@@ -182,7 +207,7 @@ func (m *Model) Clone() *Model {
 // little-endian float64 stream prefixed with the scalar count. It allows
 // checkpointing global models between experiment phases.
 func (m *Model) MarshalBinary() ([]byte, error) {
-	p := m.Parameters()
+	p := m.params
 	buf := make([]byte, 8+8*len(p))
 	binary.LittleEndian.PutUint64(buf, uint64(len(p)))
 	for i, v := range p {
@@ -191,22 +216,21 @@ func (m *Model) MarshalBinary() ([]byte, error) {
 	return buf, nil
 }
 
-// UnmarshalBinary loads parameters encoded by MarshalBinary. The model
-// architecture must already match.
+// UnmarshalBinary loads parameters encoded by MarshalBinary directly into
+// the model's flat buffer. The model architecture must already match.
 func (m *Model) UnmarshalBinary(data []byte) error {
 	if len(data) < 8 {
 		return fmt.Errorf("nn: UnmarshalBinary short buffer (%d bytes)", len(data))
 	}
 	n := int(binary.LittleEndian.Uint64(data))
-	if n != m.NumParams() {
-		return fmt.Errorf("nn: UnmarshalBinary has %d scalars, model wants %d", n, m.NumParams())
+	if n != len(m.params) {
+		return fmt.Errorf("nn: UnmarshalBinary has %d scalars, model wants %d", n, len(m.params))
 	}
 	if len(data) != 8+8*n {
 		return fmt.Errorf("nn: UnmarshalBinary length %d, want %d", len(data), 8+8*n)
 	}
-	p := tensor.NewVector(n)
-	for i := range p {
-		p[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8+8*i:]))
+	for i := range m.params {
+		m.params[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8+8*i:]))
 	}
-	return m.SetParameters(p)
+	return nil
 }

@@ -90,7 +90,9 @@ func TestCloneIndependence(t *testing.T) {
 	// Clone must be usable for training without touching the original.
 	rng := rand.New(rand.NewSource(3))
 	samples := makeBlobs(rng, 40, 8, 4, 2.0)
-	before := m.Parameters()
+	// Snapshot (Parameters aliases m, so a live view would trivially equal
+	// itself), train the clone, and check the original did not move.
+	before := m.Parameters().Clone()
 	if _, err := c.Train(samples, TrainConfig{Epochs: 1, BatchSize: 8, LR: 0.1, Seed: 1}); err != nil {
 		t.Fatal(err)
 	}

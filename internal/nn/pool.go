@@ -17,7 +17,8 @@ type MaxPool1D struct {
 	Width    int
 
 	out    tensor.Vector
-	argmax []int // winning input index per output element
+	argmax []int         // winning input index per output element
+	gradIn tensor.Vector // dL/dIn returned by Backward, reused per call
 }
 
 var _ Layer = (*MaxPool1D)(nil)
@@ -31,6 +32,7 @@ func NewMaxPool1D(channels, inWidth, width int) *MaxPool1D {
 	p := &MaxPool1D{Channels: channels, InWidth: inWidth, Width: width}
 	p.out = tensor.NewVector(p.OutDim())
 	p.argmax = make([]int, p.OutDim())
+	p.gradIn = tensor.NewVector(p.InDim())
 	return p
 }
 
@@ -85,19 +87,28 @@ func (p *MaxPool1D) Forward(x tensor.Vector) tensor.Vector {
 	return p.out
 }
 
-// Backward implements Layer: gradients flow only to the max positions.
+// Backward implements Layer: gradients flow only to the max positions. The
+// returned slice is owned by the layer and overwritten on the next call.
 func (p *MaxPool1D) Backward(grad tensor.Vector) tensor.Vector {
 	if len(grad) != p.OutDim() {
 		panic(fmt.Sprintf("nn: MaxPool1D.Backward grad %d, want %d", len(grad), p.OutDim()))
 	}
-	gradIn := tensor.NewVector(p.InDim())
+	gradIn := p.gradIn
+	gradIn.Zero()
 	for i, g := range grad {
 		gradIn[p.argmax[i]] += g
 	}
 	return gradIn
 }
 
-// clone returns a fresh pooling layer with the same shape.
-func (p *MaxPool1D) clone() *MaxPool1D {
+// Clone implements Layer.
+func (p *MaxPool1D) Clone() Layer {
 	return NewMaxPool1D(p.Channels, p.InWidth, p.Width)
+}
+
+// Bind implements Layer (pooling holds no parameters).
+func (p *MaxPool1D) Bind(params, grads tensor.Vector) {
+	if len(params) != 0 || len(grads) != 0 {
+		panic(fmt.Sprintf("nn: MaxPool1D.Bind got %d/%d scalars, want 0", len(params), len(grads)))
+	}
 }

@@ -12,7 +12,8 @@ func deltaNorm(t *testing.T, mu float64) float64 {
 	rng := rand.New(rand.NewSource(31))
 	samples := makeBlobs(rng, 80, 8, 4, 2.0)
 	m := testModel(t, "resnet18")
-	anchor := m.Parameters()
+	// Parameters() aliases the model; the anchor must be a frozen snapshot.
+	anchor := m.Parameters().Clone()
 	cfg := TrainConfig{Epochs: 3, BatchSize: 16, LR: 0.3, GradClip: 5, Seed: 9}
 	if mu > 0 {
 		cfg.ProxMu = mu
@@ -21,7 +22,7 @@ func deltaNorm(t *testing.T, mu float64) float64 {
 	if _, err := m.Train(samples, cfg); err != nil {
 		t.Fatal(err)
 	}
-	after := m.Parameters()
+	after := m.Parameters().Clone()
 	after.AddScaled(-1, anchor)
 	return after.Norm2()
 }
@@ -47,7 +48,7 @@ func TestProximalStillLearns(t *testing.T) {
 	rng := rand.New(rand.NewSource(33))
 	samples := makeBlobs(rng, 150, 8, 4, 2.0)
 	m := testModel(t, "resnet18")
-	anchor := m.Parameters()
+	anchor := m.Parameters().Clone()
 	accBefore, _ := m.Evaluate(samples)
 	if _, err := m.Train(samples, TrainConfig{
 		Epochs: 8, BatchSize: 16, LR: 0.3, GradClip: 5, Seed: 10,

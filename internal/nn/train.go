@@ -47,9 +47,11 @@ func (m *Model) lossAndGrads(s Sample) float64 {
 	}
 	loss := -math.Log(p)
 
-	// dL/dlogits = probs - onehot(label)
-	grad := m.probs.Clone()
-	grad[s.Label] -= 1
+	// dL/dlogits = probs - onehot(label), built in the model-owned scratch
+	// so per-sample backprop allocates nothing.
+	copy(m.lossGrad, m.probs)
+	m.lossGrad[s.Label] -= 1
+	grad := m.lossGrad
 	for i := len(m.Layers) - 1; i >= 0; i-- {
 		grad = m.Layers[i].Backward(grad)
 	}
@@ -76,59 +78,78 @@ func (m *Model) Train(samples []Sample, cfg TrainConfig) (float64, error) {
 		return 0, fmt.Errorf("nn: ProxAnchor has %d scalars, model has %d",
 			len(cfg.ProxAnchor), m.NumParams())
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	order := make([]int, len(samples))
+	// Reuse the model-owned RNG and order scratch: reseeding produces the
+	// same stream as a fresh rand.New(rand.NewSource(seed)), so repeated
+	// Train calls stay deterministic without per-call allocation.
+	if m.trainRNG == nil {
+		m.trainRNG = rand.New(rand.NewSource(cfg.Seed))
+	} else {
+		m.trainRNG.Seed(cfg.Seed)
+	}
+	if cap(m.order) < len(samples) {
+		m.order = make([]int, len(samples))
+	}
+	order := m.order[:len(samples)]
 	for i := range order {
 		order[i] = i
 	}
 
 	var lastEpochLoss float64
 	for e := 0; e < cfg.Epochs; e++ {
-		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		m.trainRNG.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		var epochLoss float64
 		for start := 0; start < len(order); start += cfg.BatchSize {
 			end := start + cfg.BatchSize
 			if end > len(order) {
 				end = len(order)
 			}
-			for _, l := range m.Layers {
-				l.ZeroGrad()
-			}
+			m.grads.Zero()
 			for _, idx := range order[start:end] {
 				epochLoss += m.lossAndGrads(samples[idx])
 			}
 			if cfg.ProxMu > 0 {
-				m.addProximalGrads(cfg.ProxAnchor, cfg.ProxMu*float64(end-start))
+				// FedProx proximal term as one fused flat loop; mu is scaled
+				// by the batch size because gradients are batch sums.
+				m.grads.AddScaledDiff(cfg.ProxMu*float64(end-start), m.params, cfg.ProxAnchor)
 			}
-			lr := cfg.LR / float64(end-start)
-			for li, l := range m.Layers {
-				if cfg.FrozenLayers != nil && cfg.FrozenLayers[li] {
-					continue
-				}
-				l.ApplySGD(lr, cfg.GradClip)
-			}
+			m.applyStep(cfg.LR/float64(end-start), cfg.GradClip, cfg.FrozenLayers)
 		}
 		lastEpochLoss = epochLoss / float64(len(samples))
 	}
 	return lastEpochLoss, nil
 }
 
-// addProximalGrads adds mu·(w - anchor) to every gradient accumulator —
-// FedProx's proximal term, which keeps local models from drifting far from
-// the global model on non-IID shards. mu here is already scaled by the
-// batch size because gradients are batch sums.
-func (m *Model) addProximalGrads(anchor tensor.Vector, mu float64) {
-	off := 0
-	for _, l := range m.Layers {
-		params := l.Params()
-		grads := l.Grads()
-		for pi, p := range params {
-			g := grads[pi]
-			for i := range p {
-				g[i] += mu * (p[i] - anchor[off+i])
+// applyStep performs the SGD update params -= lr·grads with per-component
+// clipping at clip (disabled when <= 0). With no frozen layers it is two
+// whole-buffer loops over the flat vectors; with frozen layers it touches
+// only the unfrozen layers' ranges.
+func (m *Model) applyStep(lr, clip float64, frozen []bool) {
+	allTrainable := true
+	if frozen != nil {
+		for _, f := range frozen {
+			if f {
+				allTrainable = false
+				break
 			}
-			off += len(p)
 		}
+	}
+	if allTrainable {
+		if clip > 0 {
+			m.grads.Clamp(clip)
+		}
+		m.params.AddScaled(-lr, m.grads)
+		return
+	}
+	for li := range m.Layers {
+		if frozen[li] {
+			continue
+		}
+		off, end := m.layerRange(li)
+		g := m.grads[off:end]
+		if clip > 0 {
+			g.Clamp(clip)
+		}
+		m.params[off:end].AddScaled(-lr, g)
 	}
 }
 

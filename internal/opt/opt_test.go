@@ -141,6 +141,25 @@ func TestQuantizeEdgeCases(t *testing.T) {
 	Quantize(coarse, 2, rng)
 }
 
+func TestQuantizeHugeBitWidthsAreIdentity(t *testing.T) {
+	// Regression: bit widths above 62 must take the >= 32 no-op path. If
+	// they ever reached the level computation, int64(1)<<(bits-1) would
+	// overflow (63 -> MinInt64, >= 64 -> undefined for the signed width)
+	// and corrupt the update with a negative or NaN grid scale.
+	rng := rand.New(rand.NewSource(5))
+	orig := tensor.Vector{1.5, -2.25, 0.125, 1e-9, -3e4}
+	for _, bits := range []int{32, 62, 63, 64, 100, math.MaxInt32} {
+		v := orig.Clone()
+		Quantize(v, bits, rng)
+		for i := range v {
+			if v[i] != orig[i] {
+				t.Fatalf("Quantize with bits=%d modified the vector: %v -> %v",
+					bits, orig[i], v[i])
+			}
+		}
+	}
+}
+
 func TestQuant8CoarserThanQuant16(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	orig := tensor.NewVector(5000)

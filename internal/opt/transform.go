@@ -12,8 +12,15 @@ import (
 // using stochastic rounding (unbiased: E[quantized] = original). The grid
 // scale adapts to the update's max magnitude, as FedPAQ-style update
 // quantization does. b must be in [2, 32]; b >= 32 is a no-op.
+//
+// The no-op guard must stay ahead of the level computation: for bits > 62,
+// int64(1)<<(bits-1) would overflow (bits == 63 yields math.MinInt64, and
+// larger shifts are undefined for the signed width), turning the grid scale
+// negative or NaN and corrupting the update instead of passing it through.
 func Quantize(v tensor.Vector, bits int, rng *rand.Rand) {
 	if bits >= 32 || len(v) == 0 {
+		// Covers the whole bits >= 32 range, so the shift below is always
+		// taken with bits in [2, 31] and cannot overflow.
 		return
 	}
 	if bits < 2 {

@@ -64,6 +64,45 @@ func (v Vector) Scale(alpha float64) {
 	}
 }
 
+// AddScaledDiff performs v += alpha*(a - b), the fused kernel behind the
+// FedProx proximal gradient (grad += mu·(w - anchor)) on flat buffers.
+func (v Vector) AddScaledDiff(alpha float64, a, b Vector) {
+	if len(v) != len(a) || len(v) != len(b) {
+		panic(fmt.Sprintf("tensor: AddScaledDiff length mismatch %d vs %d vs %d",
+			len(v), len(a), len(b)))
+	}
+	for i := range v {
+		v[i] += alpha * (a[i] - b[i])
+	}
+}
+
+// ScaledDiff writes dst = alpha*(a - b) without allocating — the one-pass
+// delta kernel (delta = after - before) of the FL hot path. dst may alias
+// a or b.
+func ScaledDiff(dst Vector, alpha float64, a, b Vector) {
+	if len(dst) != len(a) || len(dst) != len(b) {
+		panic(fmt.Sprintf("tensor: ScaledDiff length mismatch %d vs %d vs %d",
+			len(dst), len(a), len(b)))
+	}
+	for i := range dst {
+		dst[i] = alpha * (a[i] - b[i])
+	}
+}
+
+// AddWeighted performs dst += Σ_k weights[k]·vecs[k], accumulating directly
+// into dst (typically a model's flat parameter buffer). The terms are
+// applied in slice order as a sequence of axpys, so the floating-point
+// result is independent of everything but the given ordering.
+func AddWeighted(dst Vector, weights []float64, vecs []Vector) {
+	if len(weights) != len(vecs) {
+		panic(fmt.Sprintf("tensor: AddWeighted %d weights for %d vectors",
+			len(weights), len(vecs)))
+	}
+	for k, v := range vecs {
+		dst.AddScaled(weights[k], v)
+	}
+}
+
 // Norm2 returns the Euclidean norm of v.
 func (v Vector) Norm2() float64 {
 	var s float64

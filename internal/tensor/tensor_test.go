@@ -37,6 +37,101 @@ func TestAddScaled(t *testing.T) {
 	}
 }
 
+func TestScaledDiff(t *testing.T) {
+	dst := Vector{9, 9, 9}
+	ScaledDiff(dst, 2, Vector{4, 5, 6}, Vector{1, 2, 4})
+	want := Vector{6, 6, 4}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("ScaledDiff = %v, want %v", dst, want)
+		}
+	}
+	// Aliasing dst with a is explicitly allowed (in-place delta).
+	a := Vector{4, 5, 6}
+	ScaledDiff(a, 1, a, Vector{1, 1, 1})
+	for i, w := range (Vector{3, 4, 5}) {
+		if a[i] != w {
+			t.Fatalf("aliased ScaledDiff = %v", a)
+		}
+	}
+}
+
+func TestScaledDiffMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScaledDiff on mismatched lengths did not panic")
+		}
+	}()
+	ScaledDiff(Vector{1}, 1, Vector{1, 2}, Vector{1})
+}
+
+func TestAddScaledDiff(t *testing.T) {
+	v := Vector{1, 1, 1}
+	v.AddScaledDiff(3, Vector{2, 3, 4}, Vector{1, 1, 1})
+	want := Vector{4, 7, 10}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("AddScaledDiff = %v, want %v", v, want)
+		}
+	}
+}
+
+func TestAddScaledDiffMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddScaledDiff on mismatched lengths did not panic")
+		}
+	}()
+	Vector{1, 2}.AddScaledDiff(1, Vector{1, 2}, Vector{1})
+}
+
+func TestAddWeighted(t *testing.T) {
+	dst := Vector{1, 2}
+	AddWeighted(dst, []float64{0.5, 2}, []Vector{{2, 4}, {1, 1}})
+	want := Vector{4, 6}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("AddWeighted = %v, want %v", dst, want)
+		}
+	}
+	// Empty term list is a no-op, not a panic.
+	AddWeighted(dst, nil, nil)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("empty AddWeighted modified dst: %v", dst)
+		}
+	}
+	// Matches the equivalent sequence of axpys bit-for-bit.
+	rng := rand.New(rand.NewSource(42))
+	x := NewVector(64)
+	RandnInto(x, 1, rng)
+	ref := x.Clone()
+	vs := make([]Vector, 3)
+	ws := []float64{0.25, -1.5, 3}
+	for i := range vs {
+		vs[i] = NewVector(64)
+		RandnInto(vs[i], 1, rng)
+	}
+	AddWeighted(x, ws, vs)
+	for k, v := range vs {
+		ref.AddScaled(ws[k], v)
+	}
+	for i := range ref {
+		if x[i] != ref[i] {
+			t.Fatalf("AddWeighted diverges from axpy sequence at %d", i)
+		}
+	}
+}
+
+func TestAddWeightedMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddWeighted with mismatched counts did not panic")
+		}
+	}()
+	AddWeighted(Vector{1}, []float64{1, 2}, []Vector{{1}})
+}
+
 func TestScaleAndNorms(t *testing.T) {
 	v := Vector{3, -4}
 	if got := v.Norm2(); !almostEqual(got, 5, 1e-12) {

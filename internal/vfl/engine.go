@@ -92,8 +92,12 @@ func Run(ds *SplitDataset, parties []*Party, coord *Coordinator, ctrl fl.Control
 	}
 	hfDiff := make([]float64, len(parties))
 
+	// Round-loop scratch, allocated once: per-party bottom-weight anchors
+	// for update pruning, and the split-step buffers trainStep reuses.
+	scratch := newRunScratch(ds, parties, cfg)
+
 	for round := 0; round < cfg.Rounds; round++ {
-		wall, err := runRound(ds, parties, coord, ctrl, cfg, round, deadline, hfDiff, res, rng)
+		wall, err := runRound(ds, parties, coord, ctrl, cfg, round, deadline, hfDiff, res, rng, scratch)
 		if err != nil {
 			return nil, err
 		}
@@ -105,13 +109,37 @@ func Run(ds *SplitDataset, parties []*Party, coord *Coordinator, ctrl fl.Control
 	return res, nil
 }
 
+// runScratch is the buffer set the round loop reuses: weight anchors for
+// update-side pruning and trainStep's per-batch vectors.
+type runScratch struct {
+	anchors  []tensor.Vector // per-party bottom-weight snapshot at round start
+	joint    tensor.Vector   // concatenated party embeddings
+	probs    tensor.Vector   // coordinator softmax output
+	lossGrad tensor.Vector   // dL/dlogits per sample
+}
+
+// newRunScratch sizes a runScratch for one federation. cfg must already
+// have defaults applied.
+func newRunScratch(ds *SplitDataset, parties []*Party, cfg Config) *runScratch {
+	s := &runScratch{
+		anchors:  make([]tensor.Vector, len(parties)),
+		joint:    tensor.NewVector(cfg.EmbeddingDim * len(parties)),
+		probs:    tensor.NewVector(ds.Classes),
+		lossGrad: tensor.NewVector(ds.Classes),
+	}
+	for i, p := range parties {
+		s.anchors[i] = tensor.NewVector(len(p.Bottom.W.Data))
+	}
+	return s
+}
+
 // runRound executes one VFL round: per-party device execution under the
 // controller's techniques (phase 1), then split training with the
 // technique semantics applied (phase 2). It mutates hfDiff and res's
 // dropout/waste accounting and returns the round's wall-clock seconds.
 func runRound(ds *SplitDataset, parties []*Party, coord *Coordinator, ctrl fl.Controller,
 	cfg Config, round int, deadline float64, hfDiff []float64, res *Result,
-	rng *rand.Rand) (float64, error) {
+	rng *rand.Rand, scratch *runScratch) (float64, error) {
 
 	techs := make([]opt.Technique, len(parties))
 	active := make([]bool, len(parties))
@@ -143,27 +171,28 @@ func runRound(ds *SplitDataset, parties []*Party, coord *Coordinator, ctrl fl.Co
 		ctrl.Feedback(round, p.Device, tech, out, 0)
 	}
 
-	anchor := make([]tensor.Vector, len(parties))
+	anchor := scratch.anchors
 	for i, p := range parties {
-		anchor[i] = p.Bottom.W.Data.Clone()
+		copy(anchor[i], p.Bottom.W.Data)
 	}
 	for step := 0; step < cfg.StepsPerRound; step++ {
 		batch := sampleBatch(len(ds.Labels), cfg.BatchSize, rng)
-		trainStep(ds, parties, coord, batch, active, techs, cfg, rng)
+		trainStep(ds, parties, coord, batch, active, techs, cfg, rng, scratch)
 	}
 	// Update-side technique semantics on bottom models: prune the round's
-	// weight delta for pruning techniques.
+	// weight delta for pruning techniques. The delta is formed in place in
+	// the weight buffer (W -= anchor; prune; W += anchor) so no scratch
+	// vector is needed.
 	for i, p := range parties {
 		if !active[i] {
 			continue
 		}
 		eff := techs[i].Effects()
 		if eff.PruneFrac > 0 {
-			delta := p.Bottom.W.Data.Clone()
-			delta.AddScaled(-1, anchor[i])
-			opt.PruneSmallest(delta, eff.PruneFrac)
-			copy(p.Bottom.W.Data, anchor[i])
-			p.Bottom.W.Data.AddScaled(1, delta)
+			w := p.Bottom.W.Data
+			w.AddScaled(-1, anchor[i])
+			opt.PruneSmallest(w, eff.PruneFrac)
+			w.AddScaled(1, anchor[i])
 		}
 	}
 	return roundWall, nil
@@ -186,7 +215,8 @@ func sampleBatch(n, k int, rng *rand.Rand) []int {
 // the technique's genuine accuracy noise. Partial-training parties freeze
 // their bottom model (the forward pass still runs).
 func trainStep(ds *SplitDataset, parties []*Party, coord *Coordinator, batch []int,
-	active []bool, techs []opt.Technique, cfg Config, rng *rand.Rand) {
+	active []bool, techs []opt.Technique, cfg Config, rng *rand.Rand,
+	scratch *runScratch) {
 
 	embDim := cfg.EmbeddingDim
 	coord.Top.ZeroGrad()
@@ -194,31 +224,33 @@ func trainStep(ds *SplitDataset, parties []*Party, coord *Coordinator, batch []i
 		p.Bottom.ZeroGrad()
 	}
 
-	joint := tensor.NewVector(embDim * len(parties))
-	probs := tensor.NewVector(ds.Classes)
+	joint, probs := scratch.joint, scratch.probs
 	for _, idx := range batch {
 		// Forward: parties produce (possibly quantized) embeddings;
-		// inactive parties contribute zeros.
+		// inactive parties contribute zeros. Embeddings are copied into the
+		// joint buffer and quantized in place there — no per-sample clone.
 		for pi, p := range parties {
+			slot := joint[pi*embDim : (pi+1)*embDim]
 			if !active[pi] {
-				joint[pi*embDim : (pi+1)*embDim].Zero()
+				slot.Zero()
 				continue
 			}
-			e := p.Bottom.Forward(ds.Features[pi][idx]).Clone()
+			copy(slot, p.Bottom.Forward(ds.Features[pi][idx]))
 			if bits := techs[pi].Effects().QuantBits; bits > 0 {
-				opt.Quantize(e, bits, rng)
+				opt.Quantize(slot, bits, rng)
 			}
-			copy(joint[pi*embDim:(pi+1)*embDim], e)
 		}
 
 		logits := coord.Top.Forward(joint)
 		tensor.Softmax(probs, logits)
-		grad := probs.Clone()
+		grad := scratch.lossGrad
+		copy(grad, probs)
 		grad[ds.Labels[idx]] -= 1
 		gradJoint := coord.Top.Backward(grad)
 
-		// Backward to parties: slice the joint gradient; quantizing
-		// parties receive quantized gradients.
+		// Backward to parties: each party consumes its disjoint slice of
+		// the joint gradient (quantized in place for quantizing parties —
+		// the slice is not read again this sample).
 		for pi, p := range parties {
 			if !active[pi] {
 				continue
@@ -227,7 +259,7 @@ func trainStep(ds *SplitDataset, parties []*Party, coord *Coordinator, batch []i
 			if eff.PartialFrac > 0 {
 				continue // bottom frozen this round
 			}
-			g := gradJoint[pi*embDim : (pi+1)*embDim].Clone()
+			g := gradJoint[pi*embDim : (pi+1)*embDim]
 			if eff.QuantBits > 0 {
 				opt.Quantize(g, eff.QuantBits, rng)
 			}

@@ -27,8 +27,9 @@ type Silo struct {
 	Parties []*Party
 	Coord   *Coordinator
 	// hfDiff carries deadline human feedback between this silo's rounds.
-	hfDiff []float64
-	rng    *rand.Rand
+	hfDiff  []float64
+	rng     *rand.Rand
+	scratch *runScratch
 }
 
 // Hybrid is the full cross-silo deployment.
@@ -79,6 +80,7 @@ func NewHybrid(profileName string, silos, parties, samplesPerSilo, testPerSilo i
 			Coord:   coord,
 			hfDiff:  make([]float64, parties),
 			rng:     rand.New(rand.NewSource(siloCfg.Seed + 7)),
+			scratch: newRunScratch(ds, ps, siloCfg),
 		})
 	}
 	return h, nil
@@ -115,7 +117,7 @@ func (h *Hybrid) Run(ctrl fl.Controller) (*HybridResult, error) {
 			// the dropout/waste accounting lands per silo.
 			shim := &Result{PartyDrops: make([]int, len(silo.Parties))}
 			wall, err := runRound(silo.Data, silo.Parties, silo.Coord, ctrl,
-				cfg, round, deadline, silo.hfDiff, shim, silo.rng)
+				cfg, round, deadline, silo.hfDiff, shim, silo.rng, silo.scratch)
 			if err != nil {
 				return nil, err
 			}
