@@ -6,7 +6,12 @@
 //
 // Usage:
 //
-//	floatd -addr :8080 -dataset femnist -controller float -k 8
+//	floatd -addr :8080 -dataset femnist -controller float -k 8 -lease 60 -round-sec 120
+//
+// Fault tolerance: every handed-out task carries a lease (-lease); a
+// client that goes silent past it has its slot reclaimed and the dropout
+// reported to the controller. A round stuck below -k updates for
+// -round-sec seconds aggregates whatever arrived (at least -min-updates).
 package main
 
 import (
@@ -33,6 +38,10 @@ func main() {
 		batch      = flag.Int("batch", 16, "local batch size")
 		lr         = flag.Float64("lr", 0.1, "local learning rate")
 		seed       = flag.Int64("seed", 42, "RNG seed")
+		deadline   = flag.Float64("deadline", 0, "round deadline seconds reported to the controller (0 = default)")
+		lease      = flag.Float64("lease", 0, "task lease seconds before a silent client's slot is reclaimed (0 = 2x deadline)")
+		roundSec   = flag.Float64("round-sec", 0, "round timer seconds before a partial buffer is aggregated (0 = 2x lease)")
+		minUpdates = flag.Int("min-updates", 0, "minimum buffered updates the round timer will aggregate (0 = 1)")
 	)
 	flag.Parse()
 
@@ -68,10 +77,14 @@ func main() {
 			Arch: *arch, InDim: profile.Dim, Classes: profile.Classes,
 			Epochs: *epochs, BatchSize: *batch, LR: *lr,
 		},
-		AggregateK: *k,
-		Controller: ctrl,
-		Holdout:    fed.GlobalTest,
-		Seed:       *seed,
+		AggregateK:      *k,
+		Controller:      ctrl,
+		Holdout:         fed.GlobalTest,
+		DeadlineSeconds: *deadline,
+		LeaseSeconds:    *lease,
+		RoundSeconds:    *roundSec,
+		MinUpdates:      *minUpdates,
+		Seed:            *seed,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -12,12 +12,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 	"net"
 	"net/http"
 	"sync"
+	"time"
 
 	"floatfl/internal/core"
 	"floatfl/internal/data"
@@ -53,7 +55,12 @@ func main() {
 		AggregateK: numClients,
 		Controller: float,
 		Holdout:    fed.GlobalTest,
-		Seed:       seed,
+		// Fault tolerance: a client silent past its lease loses the slot
+		// (and the dropout is reported to FLOAT); a round stuck under
+		// AggregateK updates for RoundSeconds aggregates what arrived.
+		LeaseSeconds: 60,
+		RoundSeconds: 120,
+		Seed:         seed,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -71,6 +78,12 @@ func main() {
 	baseURL := "http://" + ln.Addr().String()
 	fmt.Printf("aggregator listening on %s\n", baseURL)
 
+	// Clients run under a deadline context; Register/Step retry transient
+	// network failures internally (seeded exponential backoff), so a flaky
+	// localhost loopback would not kill the run.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Minute)
+	defer cancel()
+
 	var wg sync.WaitGroup
 	for i := 0; i < numClients; i++ {
 		wg.Add(1)
@@ -81,7 +94,7 @@ func main() {
 				fed.Train[i], fed.LocalTest[i], int64(seed+100+i))
 			// A mix of weak and strong devices.
 			gflops := 6 + 10*float64(i%4)
-			if err := c.Register(gflops, 2000+500*float64(i%4)); err != nil {
+			if err := c.Register(ctx, gflops, 2000+500*float64(i%4)); err != nil {
 				log.Fatal(err)
 			}
 			c.Report = func(round int) dist.ResourceReport {
@@ -95,7 +108,7 @@ func main() {
 				}
 			}
 			for round := 0; round < rounds; round++ {
-				if _, err := c.Step(round); err != nil {
+				if _, err := c.Step(ctx, round); err != nil {
 					log.Fatal(err)
 				}
 			}

@@ -2,6 +2,7 @@ package device
 
 import (
 	"fmt"
+	"math"
 
 	"floatfl/internal/opt"
 )
@@ -155,8 +156,20 @@ func estimate(w WorkSpec, r Resources, eff opt.Effects, cpu, net, gflops float64
 // energy plus a radio overhead for communication time, normalized by the
 // device's capacity, plus a small fixed wake-up cost.
 func drainFor(c *Client, cost Cost) {
+	capacity := c.Compute.EnergyCapacity
+	if capacity <= 0 || math.IsNaN(capacity) {
+		// A zero/negative capacity would make the normalization below
+		// non-finite and silently corrupt the availability trace (NaN
+		// battery disables the low-water cutoff forever); charge only the
+		// fixed wake-up cost.
+		c.Avail.RecordUseAmount(0.005)
+		return
+	}
 	commHours := cost.CommSeconds / 3600
-	frac := (cost.EnergyHours + 0.3*commHours) / c.Compute.EnergyCapacity
+	frac := (cost.EnergyHours + 0.3*commHours) / capacity
+	if frac < 0 || math.IsNaN(frac) {
+		frac = 0
+	}
 	c.Avail.RecordUseAmount(frac + 0.005)
 }
 
@@ -217,6 +230,11 @@ func Execute(c *Client, t int, w WorkSpec, tech opt.Technique, deadlineSec float
 	if full.EnergyHours > energyAvail {
 		// Battery dies partway: the fraction of compute that fit is wasted.
 		frac := energyAvail / full.EnergyHours
+		if frac < 0 || math.IsNaN(frac) {
+			// Degenerate capacity (zero/negative) must not produce a
+			// negative or NaN partial cost.
+			frac = 0
+		}
 		cost := full
 		cost.ComputeSeconds *= frac
 		cost.CommSeconds = 0

@@ -1,6 +1,7 @@
 package device
 
 import (
+	"math"
 	"testing"
 
 	"floatfl/internal/opt"
@@ -353,5 +354,50 @@ func TestDropReasonString(t *testing.T) {
 	}
 	if DropReason(77).String() == "" {
 		t.Fatal("unknown DropReason should render")
+	}
+}
+
+// TestDrainForGuardsDegenerateEnergyCapacity: a client misconfigured with
+// zero (or negative) EnergyCapacity must not corrupt its availability
+// trace — the old normalization divided by the capacity and pushed
+// NaN/Inf drain into the battery series, which silently disabled the
+// low-water availability cutoff for every later round.
+func TestDrainForGuardsDegenerateEnergyCapacity(t *testing.T) {
+	for _, capacity := range []float64{0, -1, math.NaN()} {
+		pop := testPopulation(t, 1, trace.ScenarioNone)
+		c := pop[0]
+		c.Compute.EnergyCapacity = capacity
+		w := testWork()
+		for step := 0; step < 30; step++ {
+			out, err := Execute(c, step, w, opt.TechNone, 1e9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Cost.ComputeSeconds < 0 || math.IsNaN(out.Cost.ComputeSeconds) ||
+				out.Cost.TotalSeconds < 0 || math.IsNaN(out.Cost.TotalSeconds) {
+				t.Fatalf("capacity %v step %d: degenerate cost %+v", capacity, step, out.Cost)
+			}
+			b := c.Avail.BatteryAt(step + 1)
+			if math.IsNaN(b) || b < 0 || b > 1 {
+				t.Fatalf("capacity %v step %d: battery trace corrupted: %v", capacity, step, b)
+			}
+		}
+	}
+	// A sane capacity still drains: pending use applies when the trace
+	// extends past the step Execute already touched (t+1), so compare the
+	// level one step later.
+	pop := testPopulation(t, 1, trace.ScenarioNone)
+	c := pop[0]
+	c.Compute.EnergyCapacity = 2
+	out, err := Execute(c, 0, testWork(), opt.TechNone, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Reason != DropUnavailable { // an offline step records no use
+		before := c.Avail.BatteryAt(1)
+		after := c.Avail.BatteryAt(2)
+		if math.IsNaN(after) || after >= before {
+			t.Fatalf("healthy drain broken: battery %v -> %v (reason %v)", before, after, out.Reason)
+		}
 	}
 }

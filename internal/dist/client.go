@@ -2,11 +2,13 @@ package dist
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
+	"time"
 
 	"floatfl/internal/nn"
 	"floatfl/internal/opt"
@@ -16,12 +18,47 @@ import (
 // newRand is a tiny indirection so server and client share seeding style.
 func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
+// defaultHTTPTimeout bounds a single request attempt so a dead server (or
+// a dropped response) surfaces as a retryable error instead of hanging
+// the client forever.
+const defaultHTTPTimeout = 30 * time.Second
+
+// RetryPolicy configures the client's handling of transient failures:
+// transport errors, 5xx responses, and truncated response bodies. The
+// protocol outcomes 204 (no slot) and 409 (stale round) and the remaining
+// 4xx statuses are terminal and never retried.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per request (default 4).
+	MaxAttempts int
+	// BaseDelay is the first backoff interval (default 50ms); each retry
+	// doubles it up to MaxDelay (default 2s), with equal jitter drawn from
+	// the client's seeded retry RNG: delay/2 + U(0, delay/2).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
 // Client is the device-side runtime: it registers, polls for tasks, trains
 // on its private shard under the assigned technique, and uploads the
-// codec-compressed delta.
+// codec-compressed delta. Transient server and network failures are
+// retried with seeded exponential backoff; protocol outcomes are not.
 type Client struct {
 	baseURL string
-	http    *http.Client
+	// HTTPClient performs the requests; tests wrap its Transport with a
+	// FaultInjector. The default has a defaultHTTPTimeout per attempt.
+	HTTPClient *http.Client
 
 	Name  string
 	Shard []nn.Sample
@@ -30,11 +67,21 @@ type Client struct {
 	// Report supplies the per-round resource self-report; nil reports a
 	// fully available device.
 	Report func(round int) ResourceReport
+	// Retry tunes transient-failure handling; the zero value gets
+	// defaults at use time.
+	Retry RetryPolicy
+	// Sleep waits out a backoff delay; nil uses ctx-aware real sleeping.
+	// Tests inject a fake-clock sleeper so retries cost no wall time.
+	Sleep func(ctx context.Context, d time.Duration) error
 
-	id    int
-	spec  TrainSpec
-	model *nn.Model
-	rng   *rand.Rand
+	id   int
+	spec TrainSpec
+	// rng seeds model init and per-round training; retryRNG draws backoff
+	// jitter. They are separate streams so injected faults never perturb
+	// the training schedule.
+	model    *nn.Model
+	rng      *rand.Rand
+	retryRNG *rand.Rand
 	// lastDeadlineDiff carries human feedback into the next report.
 	lastDeadlineDiff float64
 }
@@ -42,19 +89,22 @@ type Client struct {
 // NewClient constructs a client runtime against a server base URL.
 func NewClient(baseURL, name string, shard, localTest []nn.Sample, seed int64) *Client {
 	return &Client{
-		baseURL:   baseURL,
-		http:      &http.Client{},
-		Name:      name,
-		Shard:     shard,
-		LocalTest: localTest,
-		rng:       newRand(seed),
+		baseURL:    baseURL,
+		HTTPClient: &http.Client{Timeout: defaultHTTPTimeout},
+		Name:       name,
+		Shard:      shard,
+		LocalTest:  localTest,
+		rng:        newRand(seed),
+		retryRNG:   newRand(seed ^ 0x5deece66d),
 	}
 }
 
 // Register announces the client and receives its training configuration.
-func (c *Client) Register(gflops, memoryMB float64) error {
+// Registration is idempotent per name on the server, so a retry after a
+// dropped response reclaims the same identity.
+func (c *Client) Register(ctx context.Context, gflops, memoryMB float64) error {
 	var resp RegisterResponse
-	if err := c.post("/v1/register", RegisterRequest{
+	if err := c.post(ctx, "/v1/register", RegisterRequest{
 		Name: c.Name, GFLOPS: gflops, MemoryMB: memoryMB,
 	}, &resp); err != nil {
 		return err
@@ -76,7 +126,7 @@ func (c *Client) ID() int { return c.id }
 // assigned technique, upload the update. It returns (participated, error);
 // participated is false when the server had no slot for this round or the
 // round advanced mid-training (a deployment-side dropout).
-func (c *Client) Step(round int) (bool, error) {
+func (c *Client) Step(ctx context.Context, round int) (bool, error) {
 	if c.model == nil {
 		return false, fmt.Errorf("dist: client %q not registered", c.Name)
 	}
@@ -87,12 +137,15 @@ func (c *Client) Step(round int) (bool, error) {
 	report.DeadlineDiff = c.lastDeadlineDiff
 
 	var task TaskResponse
-	status, err := c.postStatus("/v1/task", TaskRequest{ClientID: c.id, Resources: report}, &task)
+	status, err := c.postStatus(ctx, "/v1/task", TaskRequest{ClientID: c.id, Resources: report}, &task)
 	if err != nil {
 		return false, err
 	}
 	if status == http.StatusNoContent {
 		return false, nil // no slot this round
+	}
+	if status == http.StatusConflict {
+		return false, nil
 	}
 	tech, err := opt.Parse(task.Technique)
 	if err != nil {
@@ -133,7 +186,7 @@ func (c *Client) Step(round int) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	status, err = c.postStatus("/v1/update", UpdateRequest{
+	status, err = c.postStatus(ctx, "/v1/update", UpdateRequest{
 		ClientID:   c.id,
 		Round:      task.Round,
 		Technique:  tech.String(),
@@ -145,7 +198,8 @@ func (c *Client) Step(round int) (bool, error) {
 		return false, err
 	}
 	if status == http.StatusConflict {
-		// The round moved on while we trained: a real-world dropout.
+		// The round moved on (or our lease expired) while we trained: a
+		// real-world dropout.
 		c.lastDeadlineDiff = 0.5
 		return false, nil
 	}
@@ -154,21 +208,20 @@ func (c *Client) Step(round int) (bool, error) {
 }
 
 // Status fetches the server's status.
-func (c *Client) Status() (StatusResponse, error) {
+func (c *Client) Status(ctx context.Context) (StatusResponse, error) {
 	var out StatusResponse
-	resp, err := c.http.Get(c.baseURL + "/v1/status")
+	status, err := c.do(ctx, http.MethodGet, "/v1/status", nil, &out)
 	if err != nil {
 		return out, err
 	}
-	defer drainClose(resp.Body)
-	if resp.StatusCode != http.StatusOK {
-		return out, fmt.Errorf("dist: status returned %d", resp.StatusCode)
+	if status != http.StatusOK {
+		return out, fmt.Errorf("dist: status returned %d", status)
 	}
-	return out, json.NewDecoder(resp.Body).Decode(&out)
+	return out, nil
 }
 
-func (c *Client) post(path string, req, resp interface{}) error {
-	status, err := c.postStatus(path, req, resp)
+func (c *Client) post(ctx context.Context, path string, req, resp interface{}) error {
+	status, err := c.postStatus(ctx, path, req, resp)
 	if err != nil {
 		return err
 	}
@@ -181,30 +234,104 @@ func (c *Client) post(path string, req, resp interface{}) error {
 // postStatus posts JSON and decodes a JSON response when resp is non-nil
 // and the status is 200. Protocol-level statuses (204, 409) are returned
 // to the caller without error.
-func (c *Client) postStatus(path string, req, resp interface{}) (int, error) {
+func (c *Client) postStatus(ctx context.Context, path string, req, resp interface{}) (int, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return 0, err
 	}
-	httpResp, err := c.http.Post(c.baseURL+path, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return 0, err
-	}
-	defer drainClose(httpResp.Body)
-	switch httpResp.StatusCode {
-	case http.StatusOK:
-		if resp != nil {
-			if err := json.NewDecoder(httpResp.Body).Decode(resp); err != nil {
-				return httpResp.StatusCode, err
+	return c.do(ctx, http.MethodPost, path, body, resp)
+}
+
+// do issues one logical request with retries. Transport errors, 5xx
+// statuses, and truncated 200 bodies are transient (the request is either
+// idempotent or safely rejected with 409 on replay); everything else is
+// terminal.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, resp interface{}) (int, error) {
+	policy := c.Retry.withDefaults()
+	var lastErr error
+	for attempt := 0; attempt < policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := c.backoff(ctx, policy, attempt); err != nil {
+				return 0, err
 			}
 		}
-		return httpResp.StatusCode, nil
-	case http.StatusNoContent, http.StatusConflict:
-		return httpResp.StatusCode, nil
+		status, retryable, err := c.attempt(ctx, method, path, body, resp)
+		if err == nil {
+			return status, nil
+		}
+		if !retryable || ctx.Err() != nil {
+			return status, err
+		}
+		lastErr = err
+	}
+	return 0, fmt.Errorf("dist: %s %s failed after %d attempts: %w",
+		method, path, policy.MaxAttempts, lastErr)
+}
+
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, resp interface{}) (status int, retryable bool, err error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, rd)
+	if err != nil {
+		return 0, false, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	httpResp, err := c.HTTPClient.Do(req)
+	if err != nil {
+		return 0, true, err // transport failure: retryable
+	}
+	defer drainClose(httpResp.Body)
+	switch {
+	case httpResp.StatusCode == http.StatusOK:
+		if resp != nil {
+			if err := json.NewDecoder(httpResp.Body).Decode(resp); err != nil {
+				// A truncated or garbled body on a 200 is a transport
+				// failure in disguise.
+				return httpResp.StatusCode, true,
+					fmt.Errorf("dist: %s response decode: %w", path, err)
+			}
+		}
+		return httpResp.StatusCode, false, nil
+	case httpResp.StatusCode == http.StatusNoContent, httpResp.StatusCode == http.StatusConflict:
+		return httpResp.StatusCode, false, nil
+	case httpResp.StatusCode >= 500:
+		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 512))
+		return httpResp.StatusCode, true, fmt.Errorf("dist: %s returned %d: %s",
+			path, httpResp.StatusCode, bytes.TrimSpace(msg))
 	default:
 		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 512))
-		return httpResp.StatusCode, fmt.Errorf("dist: %s returned %d: %s",
+		return httpResp.StatusCode, false, fmt.Errorf("dist: %s returned %d: %s",
 			path, httpResp.StatusCode, bytes.TrimSpace(msg))
+	}
+}
+
+// backoff sleeps out the exponential-backoff delay before retry `attempt`
+// (1-based), with equal jitter from the client's seeded retry RNG.
+func (c *Client) backoff(ctx context.Context, policy RetryPolicy, attempt int) error {
+	d := policy.BaseDelay << (attempt - 1)
+	if d > policy.MaxDelay || d <= 0 {
+		d = policy.MaxDelay
+	}
+	d = d/2 + time.Duration(c.retryRNG.Int63n(int64(d/2)+1))
+	sleep := c.Sleep
+	if sleep == nil {
+		sleep = ctxSleep
+	}
+	return sleep(ctx, d)
+}
+
+func ctxSleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 

@@ -1,0 +1,148 @@
+package dist
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock abstracts wall time for the server's lease and round timers and
+// for the fault injector's latency injection, so tests drive expiry
+// deterministically instead of sleeping. The zero ServerConfig uses the
+// real clock.
+type Clock interface {
+	Now() time.Time
+	// AfterFunc arranges for f to run once after d elapses. With the real
+	// clock f runs on its own goroutine; with FakeClock it runs
+	// synchronously inside Advance. Either way f is invoked with no clock
+	// locks held, so it may call back into the clock.
+	AfterFunc(d time.Duration, f func()) Timer
+}
+
+// Timer is a cancellable pending AfterFunc.
+type Timer interface {
+	// Stop cancels the timer; it reports false when the callback already
+	// fired or the timer was already stopped.
+	Stop() bool
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+func (realClock) AfterFunc(d time.Duration, f func()) Timer {
+	return realTimer{time.AfterFunc(d, f)}
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (rt realTimer) Stop() bool { return rt.t.Stop() }
+
+// RealClock returns the wall-clock Clock used by default.
+func RealClock() Clock { return realClock{} }
+
+// FakeClock is a manually-advanced Clock. Now() stands still until
+// Advance moves it; timers fire synchronously inside Advance, in
+// (deadline, creation) order, with the clock's lock released — callbacks
+// may take other locks or schedule further timers. A timer scheduled with
+// a non-positive delay fires on the next Advance call (even Advance(0)),
+// never re-entrantly inside AfterFunc.
+type FakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	seq    int64
+	timers fakeTimerHeap
+}
+
+// NewFakeClock starts a fake clock at the given instant.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// AfterFunc implements Clock.
+func (c *FakeClock) AfterFunc(d time.Duration, f func()) Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	t := &fakeTimer{clock: c, when: c.now.Add(d), seq: c.seq, f: f, index: -1}
+	heap.Push(&c.timers, t)
+	return t
+}
+
+// Advance moves the clock forward by d, firing every timer whose deadline
+// falls within the window. Each callback runs to completion before the
+// next due timer is considered, so a callback that re-arms a timer inside
+// the same window is honored.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	target := c.now.Add(d)
+	for {
+		if len(c.timers) == 0 || c.timers[0].when.After(target) {
+			c.now = target
+			c.mu.Unlock()
+			return
+		}
+		t := heap.Pop(&c.timers).(*fakeTimer)
+		if t.when.After(c.now) {
+			c.now = t.when
+		}
+		f := t.f
+		t.f = nil
+		c.mu.Unlock()
+		f()
+		c.mu.Lock()
+	}
+}
+
+type fakeTimer struct {
+	clock *FakeClock
+	when  time.Time
+	seq   int64
+	f     func()
+	index int // heap position, -1 when fired or stopped
+}
+
+func (t *fakeTimer) Stop() bool {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	if t.index < 0 {
+		return false
+	}
+	heap.Remove(&t.clock.timers, t.index)
+	t.f = nil
+	return true
+}
+
+type fakeTimerHeap []*fakeTimer
+
+func (h fakeTimerHeap) Len() int { return len(h) }
+func (h fakeTimerHeap) Less(i, j int) bool {
+	if !h[i].when.Equal(h[j].when) {
+		return h[i].when.Before(h[j].when)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h fakeTimerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *fakeTimerHeap) Push(x interface{}) {
+	t := x.(*fakeTimer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *fakeTimerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}

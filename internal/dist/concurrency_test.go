@@ -1,6 +1,8 @@
 package dist
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"testing"
 )
@@ -18,13 +20,13 @@ func TestConcurrentClients(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			c := NewClient(hs.URL, "c", fed.Train[i], fed.LocalTest[i], int64(200+i))
-			if err := c.Register(15, 3000); err != nil {
+			c := NewClient(hs.URL, fmt.Sprintf("conc-%d", i), fed.Train[i], fed.LocalTest[i], int64(200+i))
+			if err := c.Register(context.Background(), 15, 3000); err != nil {
 				errs <- err
 				return
 			}
 			for r := 0; r < rounds; r++ {
-				if _, err := c.Step(r); err != nil {
+				if _, err := c.Step(context.Background(), r); err != nil {
 					errs <- err
 					return
 				}
@@ -39,8 +41,6 @@ func TestConcurrentClients(t *testing.T) {
 	if srv.Round() == 0 {
 		t.Fatal("no aggregation happened under concurrent load")
 	}
-	st := StatusResponse{}
-	_ = st
 }
 
 // TestConcurrentRegistrations checks ID assignment races.
@@ -53,8 +53,8 @@ func TestConcurrentRegistrations(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			c := NewClient(hs.URL, "r", fed.Train[i%8], fed.LocalTest[i%8], int64(i))
-			if err := c.Register(10, 2000); err != nil {
+			c := NewClient(hs.URL, fmt.Sprintf("reg-%d", i), fed.Train[i%8], fed.LocalTest[i%8], int64(i))
+			if err := c.Register(context.Background(), 10, 2000); err != nil {
 				t.Error(err)
 				return
 			}
@@ -72,5 +72,36 @@ func TestConcurrentRegistrations(t *testing.T) {
 	}
 	if len(seen) != n {
 		t.Fatalf("registered %d unique IDs, want %d", len(seen), n)
+	}
+}
+
+// TestConcurrentRegistrationsSameName: concurrent retries of one logical
+// client must collapse onto a single identity.
+func TestConcurrentRegistrationsSameName(t *testing.T) {
+	_, hs, fed := testServer(t, nil, 4)
+	const n = 8
+	ids := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := NewClient(hs.URL, "same-name", fed.Train[i%8], fed.LocalTest[i%8], int64(i))
+			if err := c.Register(context.Background(), 10, 2000); err != nil {
+				t.Error(err)
+				return
+			}
+			ids <- c.ID()
+		}(i)
+	}
+	wg.Wait()
+	close(ids)
+	first := -1
+	for id := range ids {
+		if first == -1 {
+			first = id
+		} else if id != first {
+			t.Fatalf("same-name registrations produced IDs %d and %d", first, id)
+		}
 	}
 }

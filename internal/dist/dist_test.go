@@ -2,11 +2,14 @@ package dist
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/json"
+	"fmt"
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 
 	"floatfl/internal/core"
@@ -19,35 +22,54 @@ import (
 
 func testServer(t *testing.T, ctrl fl.Controller, k int) (*Server, *httptest.Server, *data.Federation) {
 	t.Helper()
+	srv, hs, fed := testServerConfig(t, ServerConfig{AggregateK: k, Controller: ctrl})
+	return srv, hs, fed
+}
+
+// testServerConfig builds a server from a partial config, filling in the
+// spec and holdout from a fresh 8-client federation.
+func testServerConfig(t *testing.T, cfg ServerConfig) (*Server, *httptest.Server, *data.Federation) {
+	t.Helper()
 	fed, err := data.Generate("femnist", data.GenerateConfig{Clients: 8, Alpha: 0.1, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := NewServer(ServerConfig{
-		Spec: TrainSpec{
-			Arch: "resnet18", InDim: fed.Profile.Dim, Classes: fed.Profile.Classes,
-			Epochs: 2, BatchSize: 16, LR: 0.1,
-		},
-		AggregateK: k,
-		Controller: ctrl,
-		Holdout:    fed.GlobalTest[:200],
-		Seed:       6,
-	})
+	cfg.Spec = TrainSpec{
+		Arch: "resnet18", InDim: fed.Profile.Dim, Classes: fed.Profile.Classes,
+		Epochs: 2, BatchSize: 16, LR: 0.1,
+	}
+	cfg.Holdout = fed.GlobalTest[:200]
+	cfg.Seed = 6
+	srv, err := NewServer(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(srv.Close)
 	hs := httptest.NewServer(srv.Handler())
 	t.Cleanup(hs.Close)
 	return srv, hs, fed
 }
 
+// clientNameSeq makes every test client's name unique: registration is
+// idempotent per name, so tests that want distinct identities must not
+// reuse one.
+var clientNameSeq int64
+
+func nextClientName() string {
+	return fmt.Sprintf("c-%d", atomic.AddInt64(&clientNameSeq, 1))
+}
+
 func registeredClient(t *testing.T, hs *httptest.Server, fed *data.Federation, i int) *Client {
 	t.Helper()
-	c := NewClient(hs.URL, "c", fed.Train[i], fed.LocalTest[i], int64(100+i))
-	if err := c.Register(15, 3000); err != nil {
+	c := NewClient(hs.URL, nextClientName(), fed.Train[i], fed.LocalTest[i], int64(100+i))
+	if err := c.Register(context.Background(), 15, 3000); err != nil {
 		t.Fatal(err)
 	}
 	return c
+}
+
+func fullReport() ResourceReport {
+	return ResourceReport{CPUFrac: 0.8, MemFrac: 0.8, NetFrac: 1, BandwidthMbps: 50, Battery: 1}
 }
 
 func TestNewServerValidation(t *testing.T) {
@@ -64,20 +86,59 @@ func TestRegisterAssignsIDs(t *testing.T) {
 	a := registeredClient(t, hs, fed, 0)
 	b := registeredClient(t, hs, fed, 1)
 	if a.ID() == b.ID() {
-		t.Fatal("clients share an ID")
+		t.Fatal("clients with distinct names share an ID")
 	}
 	if a.spec.Arch != "resnet18" || a.spec.QuantBits != 16 {
 		t.Fatalf("spec not propagated: %+v", a.spec)
 	}
 }
 
+func TestRegisterIdempotentPerName(t *testing.T) {
+	srv, hs, fed := testServer(t, nil, 2)
+	name := nextClientName()
+	a := NewClient(hs.URL, name, fed.Train[0], fed.LocalTest[0], 1)
+	if err := a.Register(context.Background(), 15, 3000); err != nil {
+		t.Fatal(err)
+	}
+	// The same client retries registration (its first response was lost):
+	// it must reclaim the same identity, not leak a duplicate clientInfo.
+	b := NewClient(hs.URL, name, fed.Train[0], fed.LocalTest[0], 2)
+	if err := b.Register(context.Background(), 15, 3000); err != nil {
+		t.Fatal(err)
+	}
+	if a.ID() != b.ID() {
+		t.Fatalf("re-register under name %q changed ID: %d -> %d", name, a.ID(), b.ID())
+	}
+	st, err := b.Status(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Registered != 1 {
+		t.Fatalf("re-register leaked a clientInfo: %d registered", st.Registered)
+	}
+	// Anonymous clients stay non-idempotent: no name to key on.
+	anonA := NewClient(hs.URL, "", fed.Train[0], fed.LocalTest[0], 3)
+	anonB := NewClient(hs.URL, "", fed.Train[0], fed.LocalTest[0], 4)
+	if err := anonA.Register(context.Background(), 15, 3000); err != nil {
+		t.Fatal(err)
+	}
+	if err := anonB.Register(context.Background(), 15, 3000); err != nil {
+		t.Fatal(err)
+	}
+	if anonA.ID() == anonB.ID() {
+		t.Fatal("anonymous clients share an ID")
+	}
+	_ = srv
+}
+
 func TestEndToEndTrainingImprovesAccuracy(t *testing.T) {
 	srv, hs, fed := testServer(t, nil, 4)
+	ctx := context.Background()
 	clients := make([]*Client, 4)
 	for i := range clients {
 		clients[i] = registeredClient(t, hs, fed, i)
 	}
-	st, err := clients[0].Status()
+	st, err := clients[0].Status(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +149,7 @@ func TestEndToEndTrainingImprovesAccuracy(t *testing.T) {
 	const rounds = 8
 	for round := 0; round < rounds; round++ {
 		for _, c := range clients {
-			ok, err := c.Step(round)
+			ok, err := c.Step(ctx, round)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -115,6 +176,7 @@ func TestFloatControllerAssignsTechniques(t *testing.T) {
 		ClientsPerRound: 4,
 	})
 	srv, hs, fed := testServer(t, float, 3)
+	ctx := context.Background()
 	clients := make([]*Client, 3)
 	for i := range clients {
 		clients[i] = registeredClient(t, hs, fed, i)
@@ -125,7 +187,7 @@ func TestFloatControllerAssignsTechniques(t *testing.T) {
 	}
 	for round := 0; round < 5; round++ {
 		for _, c := range clients {
-			if _, err := c.Step(round); err != nil {
+			if _, err := c.Step(ctx, round); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -140,18 +202,19 @@ func TestFloatControllerAssignsTechniques(t *testing.T) {
 
 func TestStaleUpdateRejected(t *testing.T) {
 	srv, hs, fed := testServer(t, nil, 1)
+	ctx := context.Background()
 	slow := registeredClient(t, hs, fed, 0)
 	fast := registeredClient(t, hs, fed, 1)
 
 	// Slow client takes a task but does not upload yet.
 	var task TaskResponse
-	status, err := slow.postStatus("/v1/task", TaskRequest{ClientID: slow.ID(),
-		Resources: ResourceReport{CPUFrac: 0.8, MemFrac: 0.8, NetFrac: 1, BandwidthMbps: 50, Battery: 1}}, &task)
+	status, err := slow.postStatus(ctx, "/v1/task", TaskRequest{ClientID: slow.ID(),
+		Resources: fullReport()}, &task)
 	if err != nil || status != http.StatusOK {
 		t.Fatalf("task fetch: %d %v", status, err)
 	}
 	// Fast client completes the round (AggregateK=1 advances immediately).
-	if ok, err := fast.Step(0); err != nil || !ok {
+	if ok, err := fast.Step(ctx, 0); err != nil || !ok {
 		t.Fatalf("fast client step: %v %v", ok, err)
 	}
 	if srv.Round() != 1 {
@@ -159,7 +222,7 @@ func TestStaleUpdateRejected(t *testing.T) {
 	}
 	// Slow client now uploads for round 0 — must be rejected as stale, and
 	// the client records deadline human feedback.
-	if ok, err := slow.Step(0); err != nil {
+	if ok, err := slow.Step(ctx, 0); err != nil {
 		t.Fatal(err)
 	} else if ok {
 		// Step re-fetched a fresh task for round 1, which is legal; but the
@@ -174,6 +237,7 @@ func TestStaleUpdateRejected(t *testing.T) {
 
 func TestUpdateValidation(t *testing.T) {
 	_, hs, fed := testServer(t, nil, 2)
+	ctx := context.Background()
 	c := registeredClient(t, hs, fed, 0)
 
 	post := func(v interface{}, path string) int {
@@ -193,8 +257,8 @@ func TestUpdateValidation(t *testing.T) {
 		t.Fatalf("unknown client task returned %d", code)
 	}
 	// Garbage delta from a client that holds a task.
-	status, err := c.postStatus("/v1/task", TaskRequest{ClientID: c.ID(),
-		Resources: ResourceReport{CPUFrac: 0.8, MemFrac: 0.8, NetFrac: 1, BandwidthMbps: 50, Battery: 1}}, &TaskResponse{})
+	status, err := c.postStatus(ctx, "/v1/task", TaskRequest{ClientID: c.ID(),
+		Resources: fullReport()}, &TaskResponse{})
 	if err != nil || status != http.StatusOK {
 		t.Fatal(err)
 	}
@@ -214,22 +278,23 @@ func TestUpdateValidation(t *testing.T) {
 
 func TestOverProvisioningCap(t *testing.T) {
 	srv, hs, fed := testServer(t, nil, 4)
+	ctx := context.Background()
 	_ = srv
 	// MaxOutstanding defaults to 8; the 9th concurrent task request must
 	// get 204.
 	var clients []*Client
 	for i := 0; i < 8; i++ {
 		c := registeredClient(t, hs, fed, i%8)
-		status, err := c.postStatus("/v1/task", TaskRequest{ClientID: c.ID(),
-			Resources: ResourceReport{CPUFrac: 0.8, MemFrac: 0.8, NetFrac: 1, BandwidthMbps: 50, Battery: 1}}, &TaskResponse{})
+		status, err := c.postStatus(ctx, "/v1/task", TaskRequest{ClientID: c.ID(),
+			Resources: fullReport()}, &TaskResponse{})
 		if err != nil || status != http.StatusOK {
 			t.Fatalf("client %d task: %d %v", i, status, err)
 		}
 		clients = append(clients, c)
 	}
 	extra := registeredClient(t, hs, fed, 0)
-	status, err := extra.postStatus("/v1/task", TaskRequest{ClientID: extra.ID(),
-		Resources: ResourceReport{CPUFrac: 0.8, MemFrac: 0.8, NetFrac: 1, BandwidthMbps: 50, Battery: 1}}, &TaskResponse{})
+	status, err := extra.postStatus(ctx, "/v1/task", TaskRequest{ClientID: extra.ID(),
+		Resources: fullReport()}, &TaskResponse{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,8 +302,8 @@ func TestOverProvisioningCap(t *testing.T) {
 		t.Fatalf("over-provisioned task request returned %d, want 204", status)
 	}
 	// Idempotent re-request by a holder still succeeds.
-	status, err = clients[0].postStatus("/v1/task", TaskRequest{ClientID: clients[0].ID(),
-		Resources: ResourceReport{CPUFrac: 0.8, MemFrac: 0.8, NetFrac: 1, BandwidthMbps: 50, Battery: 1}}, &TaskResponse{})
+	status, err = clients[0].postStatus(ctx, "/v1/task", TaskRequest{ClientID: clients[0].ID(),
+		Resources: fullReport()}, &TaskResponse{})
 	if err != nil || status != http.StatusOK {
 		t.Fatalf("idempotent re-request: %d %v", status, err)
 	}
@@ -247,17 +312,18 @@ func TestOverProvisioningCap(t *testing.T) {
 func TestStepWithoutRegister(t *testing.T) {
 	_, hs, fed := testServer(t, nil, 2)
 	c := NewClient(hs.URL, "x", fed.Train[0], fed.LocalTest[0], 1)
-	if _, err := c.Step(0); err == nil {
+	if _, err := c.Step(context.Background(), 0); err == nil {
 		t.Fatal("Step before Register should fail")
 	}
 }
 
 func TestNonFiniteUpdateRejected(t *testing.T) {
 	srv, hs, fed := testServer(t, nil, 2)
+	ctx := context.Background()
 	c := registeredClient(t, hs, fed, 0)
 	// Hold a valid task first.
-	status, err := c.postStatus("/v1/task", TaskRequest{ClientID: c.ID(),
-		Resources: ResourceReport{CPUFrac: 0.8, MemFrac: 0.8, NetFrac: 1, BandwidthMbps: 50, Battery: 1}}, &TaskResponse{})
+	status, err := c.postStatus(ctx, "/v1/task", TaskRequest{ClientID: c.ID(),
+		Resources: fullReport()}, &TaskResponse{})
 	if err != nil || status != http.StatusOK {
 		t.Fatal(err)
 	}
@@ -271,7 +337,7 @@ func TestNonFiniteUpdateRejected(t *testing.T) {
 	}
 	// Overwrite the scale with +Inf.
 	binary.LittleEndian.PutUint64(blob[4:12], math.Float64bits(math.Inf(1)))
-	status, err = c.postStatus("/v1/update", UpdateRequest{
+	status, err = c.postStatus(ctx, "/v1/update", UpdateRequest{
 		ClientID: c.ID(), Round: 0, Technique: "quant16", Delta: blob, Samples: 10,
 	}, nil)
 	if err == nil && status == http.StatusOK {
@@ -290,4 +356,77 @@ func paramCount(t *testing.T, c *Client) int {
 		t.Fatal("client not registered")
 	}
 	return c.model.NumParams()
+}
+
+func TestSanitizeSelfReports(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+
+	// clampFinite: the orDefault replacement must not wave NaN/Inf through.
+	for _, tc := range []struct {
+		in, want float64
+	}{
+		{nan, 10}, {inf, 10}, {math.Inf(-1), 10}, {-3, 10}, {0, 10},
+		{1e300, 1e4}, {0.01, 0.1}, {15, 15},
+	} {
+		if got := clampFinite(tc.in, 0.1, 1e4, 10); got != tc.want {
+			t.Errorf("clampFinite(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+
+	// ResourceReport.sanitized clamps every field: absurd-but-finite
+	// values clamp to the range; non-finite garbage is rejected to the low
+	// bound (an Inf bandwidth claim earns no credit).
+	r := ResourceReport{
+		CPUFrac: nan, MemFrac: 7, NetFrac: -2,
+		BandwidthMbps: inf, Battery: 1e10, DeadlineDiff: nan,
+	}.sanitized()
+	want := ResourceReport{CPUFrac: 0, MemFrac: 1, NetFrac: 0,
+		BandwidthMbps: 0, Battery: 1, DeadlineDiff: 0}
+	if r != want {
+		t.Fatalf("sanitized report %+v, want %+v", r, want)
+	}
+	if got := clampReward(inf); got != 0 {
+		t.Fatalf("clampReward(+Inf) = %v", got)
+	}
+	if got := clampReward(-9); got != -1 {
+		t.Fatalf("clampReward(-9) = %v", got)
+	}
+}
+
+// TestMalformedReportsDoNotPoisonController drives absurd self-reports
+// through the real HTTP path and asserts the Controller only ever sees
+// clamped values.
+func TestMalformedReportsDoNotPoisonController(t *testing.T) {
+	rec := &recordingController{}
+	_, hs, fed := testServer(t, rec, 4)
+	ctx := context.Background()
+
+	c := registeredClient(t, hs, fed, 0)
+	status, err := c.postStatus(ctx, "/v1/task", TaskRequest{ClientID: c.ID(),
+		Resources: ResourceReport{CPUFrac: 1e9, MemFrac: -4, NetFrac: 0.5,
+			BandwidthMbps: 1e300, Battery: 40, DeadlineDiff: -7},
+	}, &TaskResponse{})
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("task: %d %v", status, err)
+	}
+	res := rec.lastDecide()
+	if res.CPUFrac != 1 || res.MemFrac != 0 || res.BandwidthMbps != 1e5 || res.Battery != 1 {
+		t.Fatalf("controller saw unsanitized resources: %+v", res)
+	}
+
+	// Absurd registration capability is clamped before it reaches the
+	// controller's device shim.
+	big := NewClient(hs.URL, nextClientName(), fed.Train[1], fed.LocalTest[1], 9)
+	if err := big.Register(ctx, 1e300, -5); err != nil {
+		t.Fatal(err)
+	}
+	status, err = big.postStatus(ctx, "/v1/task", TaskRequest{ClientID: big.ID(),
+		Resources: fullReport()}, &TaskResponse{})
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("task: %d %v", status, err)
+	}
+	dev := rec.lastDevice()
+	if dev.Compute.GFLOPS != 1e4 || dev.Compute.MemoryMB != 2000 {
+		t.Fatalf("controller saw unsanitized capability: %+v", dev.Compute)
+	}
 }

@@ -1,0 +1,230 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func stubServer(t *testing.T) (*httptest.Server, *int64) {
+	t.Helper()
+	var hits int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt64(&hits, 1)
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = io.WriteString(w, `{"round":7,"registered":3}`)
+	}))
+	t.Cleanup(hs.Close)
+	return hs, &hits
+}
+
+func chaosFaultConfig(seed int64) FaultConfig {
+	return FaultConfig{
+		Seed:             seed,
+		DropRequestProb:  0.12,
+		DropResponseProb: 0.08,
+		Err500Prob:       0.08,
+		Err503Prob:       0.05,
+		TruncateProb:     0.05,
+		LatencyProb:      0.15,
+		Latency:          2 * time.Second,
+	}
+}
+
+// TestFaultScheduleDeterministic: the same seed must reproduce the same
+// fault schedule, request for request, regardless of wall time.
+func TestFaultScheduleDeterministic(t *testing.T) {
+	hs, _ := stubServer(t)
+	// Latency timers only resolve via Advance; with LatencyProb > 0 a GET
+	// would block. Use a zero-latency copy for the schedule comparison and
+	// keep the latency draw in the stream (plan still consumes it).
+	runNoWait := func(seed int64) []string {
+		cfg := chaosFaultConfig(seed)
+		cfg.Latency = 0 // draw still happens; nothing blocks
+		inj := NewFaultInjector(cfg, nil, NewFakeClock(time.Unix(0, 0)))
+		client := &http.Client{Transport: inj}
+		for i := 0; i < 60; i++ {
+			resp, err := client.Get(hs.URL)
+			if err == nil {
+				drainClose(resp.Body)
+			}
+		}
+		return inj.History()
+	}
+	a, b := runNoWait(42), runNoWait(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different schedules:\n%v\n%v", a, b)
+	}
+	if len(a) != 60 {
+		t.Fatalf("history has %d entries, want 60", len(a))
+	}
+	kinds := map[string]bool{}
+	for _, k := range a {
+		kinds[k] = true
+	}
+	if len(kinds) < 3 {
+		t.Fatalf("seed 42 exercised only %v; want a mixed schedule", kinds)
+	}
+	c := runNoWait(43)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical 60-request schedules")
+	}
+}
+
+func TestFaultKindsBehave(t *testing.T) {
+	hs, hits := stubServer(t)
+
+	// Dropped request: transport error, server never touched.
+	inj := NewFaultInjector(FaultConfig{Seed: 1, DropRequestProb: 1}, nil, nil)
+	client := &http.Client{Transport: inj}
+	before := atomic.LoadInt64(hits)
+	_, err := client.Get(hs.URL)
+	if !errors.Is(err, ErrFaultDroppedRequest) {
+		t.Fatalf("dropped request error = %v", err)
+	}
+	if atomic.LoadInt64(hits) != before {
+		t.Fatal("dropped request reached the server")
+	}
+
+	// Dropped response: transport error, but the server DID process it —
+	// the case that makes retries dangerous without idempotent handlers.
+	inj = NewFaultInjector(FaultConfig{Seed: 1, DropResponseProb: 1}, nil, nil)
+	client = &http.Client{Transport: inj}
+	before = atomic.LoadInt64(hits)
+	_, err = client.Get(hs.URL)
+	if !errors.Is(err, ErrFaultDroppedResponse) {
+		t.Fatalf("dropped response error = %v", err)
+	}
+	if atomic.LoadInt64(hits) != before+1 {
+		t.Fatal("dropped-response request did not reach the server")
+	}
+
+	// Synthesized 5xx: no server contact, retryable status.
+	inj = NewFaultInjector(FaultConfig{Seed: 1, Err503Prob: 1}, nil, nil)
+	client = &http.Client{Transport: inj}
+	before = atomic.LoadInt64(hits)
+	resp, err := client.Get(hs.URL)
+	if err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("injected 503: %v %v", resp, err)
+	}
+	drainClose(resp.Body)
+	if atomic.LoadInt64(hits) != before {
+		t.Fatal("injected 503 reached the server")
+	}
+
+	// Truncated body: half the payload arrives.
+	inj = NewFaultInjector(FaultConfig{Seed: 1, TruncateProb: 1}, nil, nil)
+	client = &http.Client{Transport: inj}
+	resp, err = client.Get(hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	full := len(`{"round":7,"registered":3}`)
+	if len(body) >= full {
+		t.Fatalf("body not truncated: %d bytes %q", len(body), body)
+	}
+
+	st := inj.Stats()
+	if st.Requests != 1 || st.Truncated != 1 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+}
+
+// TestFaultLatencyWaitsOnClock: injected latency resolves via the fake
+// clock, not wall time.
+func TestFaultLatencyWaitsOnClock(t *testing.T) {
+	hs, _ := stubServer(t)
+	clk := NewFakeClock(time.Unix(0, 0))
+	inj := NewFaultInjector(FaultConfig{Seed: 1, LatencyProb: 1, Latency: 5 * time.Second}, nil, clk)
+	client := &http.Client{Transport: inj}
+
+	done := make(chan error, 1)
+	go func() {
+		resp, err := client.Get(hs.URL)
+		if err == nil {
+			drainClose(resp.Body)
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("request completed without advancing the clock: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Advance until the pending timer is consumed (the goroutine may not
+	// have registered it yet on the first try).
+	for {
+		clk.Advance(5 * time.Second)
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			return
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// TestClientRetriesTransientFaults: the client retries 5xx and transport
+// errors and succeeds once the fault clears; 204 is returned immediately.
+func TestClientRetriesTransientFaults(t *testing.T) {
+	var calls int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := atomic.AddInt64(&calls, 1)
+		if n <= 2 { // two failures, then success
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = io.WriteString(w, `{"round":3,"registered":1}`)
+	}))
+	t.Cleanup(hs.Close)
+
+	c := NewClient(hs.URL, "retry-test", nil, nil, 7)
+	c.Sleep = func(ctx context.Context, d time.Duration) error { return nil } // no wall time in tests
+	st, err := c.Status(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Round != 3 || atomic.LoadInt64(&calls) != 3 {
+		t.Fatalf("retry path wrong: %+v after %d calls", st, calls)
+	}
+
+	// Non-retryable protocol outcome: 204 must come back on first attempt.
+	hs204 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt64(&calls, 100)
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	t.Cleanup(hs204.Close)
+	c2 := NewClient(hs204.URL, "retry-204", nil, nil, 8)
+	c2.Sleep = func(ctx context.Context, d time.Duration) error { return nil }
+	atomic.StoreInt64(&calls, 0)
+	status, err := c2.postStatus(context.Background(), "/v1/task", TaskRequest{}, &TaskResponse{})
+	if err != nil || status != http.StatusNoContent {
+		t.Fatalf("204 path: %d %v", status, err)
+	}
+	if atomic.LoadInt64(&calls) != 100 {
+		t.Fatalf("204 was retried: calls=%d", calls)
+	}
+
+	// Retries exhaust into a terminal error.
+	hs500 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	t.Cleanup(hs500.Close)
+	c3 := NewClient(hs500.URL, "retry-dead", nil, nil, 9)
+	c3.Sleep = func(ctx context.Context, d time.Duration) error { return nil }
+	c3.Retry = RetryPolicy{MaxAttempts: 3}
+	if _, err := c3.Status(context.Background()); err == nil {
+		t.Fatal("exhausted retries did not error")
+	}
+}

@@ -10,12 +10,20 @@
 // The protocol is deliberately small:
 //
 //	POST /v1/register  {name, gflops, memory_mb}        -> {client_id, training config}
-//	POST /v1/task      {client_id, resources}            -> {round, technique, model} | 204
-//	POST /v1/update    {client_id, round, delta, ...}    -> 200 | 409 (stale round)
-//	GET  /v1/status                                      -> {round, registered, holdout accuracy}
+//	POST /v1/task      {client_id, resources}            -> {round, technique, model, lease} | 204
+//	POST /v1/update    {client_id, round, delta, ...}    -> 200 | 409 (stale round/lease)
+//	GET  /v1/status                                      -> {round, leases, drops, holdout accuracy}
+//
+// Failure semantics (see DESIGN.md "Failure model & recovery"): register
+// is idempotent per client name; every handed-out task carries a lease the
+// server reclaims on silent death; 204 (no slot) and 409 (stale round) are
+// terminal protocol outcomes, while transport errors and 5xx are transient
+// and retried by the client with seeded exponential backoff.
 package dist
 
 import (
+	"math"
+
 	"floatfl/internal/device"
 )
 
@@ -59,6 +67,36 @@ type ResourceReport struct {
 	DeadlineDiff float64 `json:"deadline_diff"`
 }
 
+// sanitized clamps a self-report into physically meaningful ranges. The
+// server applies this at decode time: these fields drive every cost
+// estimate the Controller makes, so one malformed report (non-finite,
+// negative, or absurdly large) must not poison technique selection for
+// the whole federation. Non-finite values degrade to the pessimistic end
+// of each range rather than the optimistic one.
+func (r ResourceReport) sanitized() ResourceReport {
+	return ResourceReport{
+		CPUFrac:       clampFrac(r.CPUFrac),
+		MemFrac:       clampFrac(r.MemFrac),
+		NetFrac:       clampFrac(r.NetFrac),
+		BandwidthMbps: clampRange(r.BandwidthMbps, 0, 1e5),
+		Battery:       clampFrac(r.Battery),
+		DeadlineDiff:  clampRange(r.DeadlineDiff, 0, 10),
+	}
+}
+
+// clampFrac maps a reported fraction into [0,1]; non-finite reports to 0.
+func clampFrac(x float64) float64 { return clampRange(x, 0, 1) }
+
+func clampRange(x, lo, hi float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) || x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
 // toResources converts a report into the simulator's resource type so the
 // same Controller implementations work unmodified.
 func (r ResourceReport) toResources() device.Resources {
@@ -87,6 +125,9 @@ type TaskResponse struct {
 	// DeadlineSeconds is advisory for real deployments; the in-process
 	// tests ignore it.
 	DeadlineSeconds float64 `json:"deadline_seconds"`
+	// LeaseSeconds is how long the server will hold this client's slot
+	// before reclaiming it: an upload after that may be rejected with 409.
+	LeaseSeconds float64 `json:"lease_seconds"`
 }
 
 // UpdateRequest uploads a trained, technique-transformed, codec-compressed
@@ -102,10 +143,23 @@ type UpdateRequest struct {
 	AccImprove float64 `json:"acc_improve"`
 }
 
-// StatusResponse summarizes server state.
+// StatusResponse summarizes server state, including the fault-tolerance
+// counters (lease and round-timer activity, per-DropReason totals).
 type StatusResponse struct {
 	Round       int     `json:"round"`
 	Registered  int     `json:"registered"`
 	HoldoutAcc  float64 `json:"holdout_acc"`
 	UpdatesSeen int     `json:"updates_seen"`
+	// Outstanding is how many tasks are currently handed out for this
+	// round; BufferedUpdates how many await aggregation.
+	Outstanding     int `json:"outstanding"`
+	BufferedUpdates int `json:"buffered_updates"`
+	// ActiveLeases counts live lease timers; LeaseExpiries how many tasks
+	// died silently and were reclaimed; PartialAggregations how many
+	// rounds the round timer advanced below AggregateK.
+	ActiveLeases        int `json:"active_leases"`
+	LeaseExpiries       int `json:"lease_expiries"`
+	PartialAggregations int `json:"partial_aggregations"`
+	// Drops tallies dropouts by device.DropReason string.
+	Drops map[string]int `json:"drops,omitempty"`
 }

@@ -6,6 +6,7 @@ import (
 	"math"
 	"net/http"
 	"sync"
+	"time"
 
 	"floatfl/internal/device"
 	"floatfl/internal/fl"
@@ -28,23 +29,42 @@ type ServerConfig struct {
 	Controller fl.Controller
 	// Holdout is evaluated after each aggregation when non-empty.
 	Holdout []nn.Sample
-	// DeadlineSeconds is advertised to clients with each task (advisory:
-	// the aggregation buffer, not a timer, advances rounds).
+	// DeadlineSeconds is advertised to clients with each task (advisory;
+	// the lease below is what the server actually enforces).
 	DeadlineSeconds float64
-	Seed            int64
+	// LeaseSeconds bounds how long a handed-out task may stay outstanding
+	// before its slot is reclaimed and the dropout reported to the
+	// Controller (default 2×DeadlineSeconds, or 30s without a deadline).
+	// Zero after defaulting means leases never expire.
+	LeaseSeconds float64
+	// RoundSeconds bounds how long a round may run below AggregateK before
+	// the buffered updates are aggregated anyway (default 2×LeaseSeconds).
+	RoundSeconds float64
+	// MinUpdates is the floor for a timer-driven partial aggregation
+	// (default 1); a round never advances on an empty buffer.
+	MinUpdates int
+	// Clock drives leases and the round timer; nil means the real clock.
+	// Tests inject a FakeClock so expiry is deterministic.
+	Clock Clock
+	Seed  int64
 }
 
-// Server is the HTTP aggregator. All state is guarded by mu; handlers are
-// safe for concurrent use.
+// Server is the HTTP aggregator. All state is guarded by mu; handlers and
+// timer callbacks are safe for concurrent use.
 type Server struct {
 	mu sync.Mutex
 
 	cfg    ServerConfig
+	clock  Clock
 	global *nn.Model
 	round  int
+	closed bool
 
 	nextClientID int
 	clients      map[int]*clientInfo
+	// byName maps client name → ID so re-registration (a retry after a
+	// dropped response) is idempotent instead of leaking clientInfos.
+	byName map[string]int
 
 	// outstanding counts tasks handed out for the current round.
 	outstanding int
@@ -52,8 +72,14 @@ type Server struct {
 	deltas  []tensor.Vector
 	weights []float64
 
-	updatesSeen int
-	holdoutAcc  float64
+	roundTimer Timer
+	roundSeq   uint64
+
+	updatesSeen   int
+	leaseExpiries int
+	partialAggs   int
+	drops         map[device.DropReason]int
+	holdoutAcc    float64
 }
 
 type clientInfo struct {
@@ -65,6 +91,12 @@ type clientInfo struct {
 	// (-1 when idle).
 	taskRound int
 	tech      opt.Technique
+
+	// leaseSeq invalidates stale lease-timer callbacks; leaseTimer is the
+	// pending expiry for the currently held task (nil when idle).
+	leaseSeq    uint64
+	leaseTimer  Timer
+	leaseExpiry time.Time
 }
 
 // NewServer builds an aggregator with a freshly initialized global model.
@@ -93,16 +125,36 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Controller == nil {
 		cfg.Controller = fl.NoOpController{}
 	}
+	if cfg.LeaseSeconds <= 0 {
+		if cfg.DeadlineSeconds > 0 {
+			cfg.LeaseSeconds = 2 * cfg.DeadlineSeconds
+		} else {
+			cfg.LeaseSeconds = 30
+		}
+	}
+	if cfg.RoundSeconds <= 0 {
+		cfg.RoundSeconds = 2 * cfg.LeaseSeconds
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = RealClock()
+	}
 	rng := newRand(cfg.Seed)
 	global, err := nn.NewModel(cfg.Spec.Arch, cfg.Spec.InDim, cfg.Spec.Classes, rng)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
+		clock:   cfg.Clock,
 		global:  global,
 		clients: make(map[int]*clientInfo),
-	}, nil
+		byName:  make(map[string]int),
+		drops:   make(map[device.DropReason]int),
+	}
+	s.mu.Lock()
+	s.armRoundTimerLocked()
+	s.mu.Unlock()
+	return s, nil
 }
 
 // Handler returns the server's HTTP routes.
@@ -121,6 +173,16 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
+	// Idempotent per name: a client retrying a register whose response was
+	// lost must get its existing identity back, not a leaked duplicate.
+	if req.Name != "" {
+		if id, ok := s.byName[req.Name]; ok {
+			spec := s.cfg.Spec
+			s.mu.Unlock()
+			writeJSON(w, RegisterResponse{ClientID: id, Spec: spec})
+			return
+		}
+	}
 	id := s.nextClientID
 	s.nextClientID++
 	s.clients[id] = &clientInfo{
@@ -128,12 +190,15 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		dev: &device.Client{
 			ID: id,
 			Compute: trace.ComputeProfile{
-				GFLOPS:         orDefault(req.GFLOPS, 10),
-				MemoryMB:       orDefault(req.MemoryMB, 2000),
+				GFLOPS:         clampFinite(req.GFLOPS, 0.1, 1e4, 10),
+				MemoryMB:       clampFinite(req.MemoryMB, 16, 1e6, 2000),
 				EnergyCapacity: 2,
 			},
 		},
 		taskRound: -1,
+	}
+	if req.Name != "" {
+		s.byName[req.Name] = id
 	}
 	spec := s.cfg.Spec
 	s.mu.Unlock()
@@ -145,6 +210,7 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
+	req.Resources = req.Resources.sanitized()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ci, ok := s.clients[req.ClientID]
@@ -153,7 +219,9 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if ci.taskRound == s.round {
-		// Already holds this round's task; re-issue idempotently.
+		// Already holds this round's task; re-issue idempotently and renew
+		// the lease (the client is demonstrably alive).
+		s.grantLeaseLocked(req.ClientID, ci)
 	} else if s.outstanding >= s.cfg.MaxOutstanding {
 		w.WriteHeader(http.StatusNoContent)
 		return
@@ -162,6 +230,7 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 		ci.tech = s.cfg.Controller.Decide(s.round, ci.dev, res, req.Resources.DeadlineDiff)
 		ci.taskRound = s.round
 		s.outstanding++
+		s.grantLeaseLocked(req.ClientID, ci)
 	}
 	blob, err := s.global.MarshalBinary()
 	if err != nil {
@@ -173,6 +242,7 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 		Technique:       ci.tech.String(),
 		Model:           blob,
 		DeadlineSeconds: s.cfg.DeadlineSeconds,
+		LeaseSeconds:    s.cfg.LeaseSeconds,
 	})
 }
 
@@ -189,7 +259,8 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Round != s.round || ci.taskRound != s.round {
-		// Stale update from a previous round: reject so the client refreshes.
+		// Stale update from a previous round, or from a lease the server
+		// already reclaimed: reject so the client refreshes.
 		http.Error(w, "dist: stale round", http.StatusConflict)
 		return
 	}
@@ -211,6 +282,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	ci.taskRound = -1
+	s.stopLeaseLocked(ci)
 	s.outstanding--
 	s.updatesSeen++
 	weight := float64(req.Samples)
@@ -221,9 +293,10 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	s.weights = append(s.weights, weight)
 
 	// Feed the controller: a returned update is a successful participation.
+	// Self-reported reward fields are clamped like the resource report.
 	s.cfg.Controller.Feedback(s.round, ci.dev, ci.tech,
-		device.Outcome{Completed: true, Cost: device.Cost{TotalSeconds: req.TrainSecs}},
-		req.AccImprove)
+		device.Outcome{Completed: true, Cost: device.Cost{TotalSeconds: clampFinite(req.TrainSecs, 0, 1e6, 0)}},
+		clampReward(req.AccImprove))
 
 	if len(s.deltas) >= s.cfg.AggregateK {
 		if err := s.aggregateLocked(); err != nil {
@@ -259,11 +332,14 @@ func (s *Server) aggregateLocked() error {
 		if ci.taskRound >= 0 && ci.taskRound < s.round {
 			// The round moved on without this client: count it as a
 			// deadline miss so FLOAT learns from it.
+			s.drops[device.DropDeadline]++
 			s.cfg.Controller.Feedback(ci.taskRound, ci.dev, ci.tech,
 				device.Outcome{Completed: false, Reason: device.DropDeadline, DeadlineDiff: 0.5}, 0)
 			ci.taskRound = -1
+			s.stopLeaseLocked(ci)
 		}
 	}
+	s.armRoundTimerLocked()
 	if len(s.cfg.Holdout) > 0 {
 		s.holdoutAcc, _ = s.global.Evaluate(s.cfg.Holdout)
 	}
@@ -272,11 +348,27 @@ func (s *Server) aggregateLocked() error {
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
+	drops := make(map[string]int, len(s.drops))
+	for reason, n := range s.drops {
+		drops[reason.String()] = n
+	}
+	activeLeases := 0
+	for _, ci := range s.clients {
+		if ci.leaseTimer != nil {
+			activeLeases++
+		}
+	}
 	resp := StatusResponse{
-		Round:       s.round,
-		Registered:  len(s.clients),
-		HoldoutAcc:  s.holdoutAcc,
-		UpdatesSeen: s.updatesSeen,
+		Round:               s.round,
+		Registered:          len(s.clients),
+		HoldoutAcc:          s.holdoutAcc,
+		UpdatesSeen:         s.updatesSeen,
+		Outstanding:         s.outstanding,
+		BufferedUpdates:     len(s.deltas),
+		ActiveLeases:        activeLeases,
+		LeaseExpiries:       s.leaseExpiries,
+		PartialAggregations: s.partialAggs,
+		Drops:               drops,
 	}
 	s.mu.Unlock()
 	writeJSON(w, resp)
@@ -294,6 +386,22 @@ func (s *Server) HoldoutAccuracy() float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.holdoutAcc
+}
+
+// LeaseExpiries returns how many handed-out tasks died silently and were
+// reclaimed by lease expiry.
+func (s *Server) LeaseExpiries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.leaseExpiries
+}
+
+// PartialAggregations returns how many rounds were advanced by the round
+// timer with fewer than AggregateK updates.
+func (s *Server) PartialAggregations() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.partialAggs
 }
 
 func decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
@@ -316,9 +424,34 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 	}
 }
 
-func orDefault(x, def float64) float64 {
-	if x <= 0 {
+// clampFinite sanitizes a client-supplied numeric field: non-finite or
+// non-positive values fall back to def, finite values are clamped into
+// [lo, hi]. (NaN fails every comparison, so a bare `x <= 0` check would
+// wave NaN straight through into the cost model.)
+func clampFinite(x, lo, hi, def float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) || x <= 0 {
 		return def
+	}
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// clampReward bounds the self-reported accuracy improvement to a sane
+// range so one malformed report cannot dominate the RL reward stream.
+func clampReward(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	if x < -1 {
+		return -1
+	}
+	if x > 1 {
+		return 1
 	}
 	return x
 }

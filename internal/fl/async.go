@@ -66,6 +66,22 @@ type asyncEvent struct {
 	trainIdx int // index into the pending job batch, -1 when the task produced no update
 }
 
+// isTooStale implements FedBuff's staleness admission rule: an update is
+// usable only while its base version snapshot is still retained and its
+// staleness is at most the cap — a staleness of exactly StalenessCap is
+// the last admissible value (the boundary is inclusive).
+func isTooStale(staleness, cap int, haveVersion bool) bool {
+	return !haveVersion || staleness > cap
+}
+
+// evictStaleVersion drops the one snapshot that just aged out of the
+// admissible window after advancing to `version`: any update based on it
+// would have staleness > cap by the time the next aggregation completes.
+// The retained window is exactly {version-cap .. version}.
+func evictStaleVersion(versions map[int]tensor.Vector, version, cap int) {
+	delete(versions, version-cap-1)
+}
+
 // RunAsync executes FedBuff: Concurrency clients train simultaneously and
 // asynchronously against the model version they started from; completed
 // updates enter a buffer and every BufferK arrivals are aggregated with
@@ -197,7 +213,7 @@ func RunAsync(fed *data.Federation, pop []*device.Client, ctrl Controller, cfg C
 
 		startParams, haveVersion := versions[task.startVersion]
 		staleness := version - task.startVersion
-		tooStale := !haveVersion || staleness > cfg.StalenessCap
+		tooStale := isTooStale(staleness, cfg.StalenessCap, haveVersion)
 		if out.Completed && tooStale {
 			// The update arrived but its base version is ancient: FedBuff
 			// discards it, so every resource it consumed is waste.
@@ -268,7 +284,7 @@ func RunAsync(fed *data.Federation, pop []*device.Client, ctrl Controller, cfg C
 		}
 		version++
 		versions[version] = global.Parameters().Clone()
-		delete(versions, version-cfg.StalenessCap-1)
+		evictStaleVersion(versions, version, cfg.StalenessCap)
 		aggregations++
 		evalCountdown--
 		if evalCountdown <= 0 || aggregations == cfg.Rounds {

@@ -1,0 +1,115 @@
+package fl
+
+import (
+	"testing"
+
+	"floatfl/internal/device"
+	"floatfl/internal/opt"
+	"floatfl/internal/tensor"
+	"floatfl/internal/trace"
+)
+
+// TestIsTooStaleBoundary pins FedBuff's admission rule at the boundary:
+// staleness of exactly StalenessCap is the last admissible value; one past
+// it is discarded, and a missing base-version snapshot always discards.
+func TestIsTooStaleBoundary(t *testing.T) {
+	const cap = 3
+	cases := []struct {
+		staleness   int
+		haveVersion bool
+		want        bool
+	}{
+		{0, true, false},
+		{cap - 1, true, false},
+		{cap, true, false},    // inclusive boundary: exactly cap is usable
+		{cap + 1, true, true}, // one past the cap is not
+		{cap + 10, true, true},
+		{0, false, true}, // snapshot evicted => unusable regardless
+		{cap, false, true},
+	}
+	for _, c := range cases {
+		if got := isTooStale(c.staleness, cap, c.haveVersion); got != c.want {
+			t.Errorf("isTooStale(%d, %d, %v) = %v, want %v",
+				c.staleness, cap, c.haveVersion, got, c.want)
+		}
+	}
+}
+
+// TestEvictStaleVersionWindow: after advancing to version v, the retained
+// snapshot set is exactly {v-cap .. v} — enough that any update with
+// admissible staleness still finds its base parameters, and nothing more.
+func TestEvictStaleVersionWindow(t *testing.T) {
+	const cap = 2
+	versions := map[int]tensor.Vector{0: tensor.NewVector(1)}
+	for v := 1; v <= 10; v++ {
+		versions[v] = tensor.NewVector(1)
+		evictStaleVersion(versions, v, cap)
+
+		lo := v - cap
+		if lo < 0 {
+			lo = 0
+		}
+		if len(versions) != v-lo+1 {
+			t.Fatalf("at version %d: %d snapshots retained, want %d", v, len(versions), v-lo+1)
+		}
+		for k := lo; k <= v; k++ {
+			if _, ok := versions[k]; !ok {
+				t.Fatalf("at version %d: snapshot %d missing from window", v, k)
+			}
+		}
+	}
+}
+
+// countingController tallies Feedback deliveries by outcome so the test
+// can check that discarded-as-stale updates still reach the Controller —
+// the adaptation loop must learn from wasted work, not only from updates
+// that made it into an aggregate.
+type countingController struct {
+	completedFeedback int
+	dropFeedback      int
+}
+
+func (c *countingController) Name() string { return "counting" }
+
+func (c *countingController) Decide(int, *device.Client, device.Resources, float64) opt.Technique {
+	return opt.TechNone
+}
+
+func (c *countingController) Feedback(_ int, _ *device.Client, _ opt.Technique,
+	out device.Outcome, _ float64) {
+	if out.Completed {
+		c.completedFeedback++
+	} else {
+		c.dropFeedback++
+	}
+}
+
+// TestAsyncDiscardedUpdatesStillFeedback: under a tight staleness cap some
+// completed updates are discarded before aggregation — but the Controller
+// must still receive Feedback for every one of them. Only BufferK×Rounds
+// completed updates can have been aggregated, so any completed-feedback
+// count above that floor is attributable to discarded updates.
+func TestAsyncDiscardedUpdatesStillFeedback(t *testing.T) {
+	fed, pop := testSetup(t, 30, trace.ScenarioNone)
+	cfg := smallConfig()
+	cfg.Rounds = 8
+	cfg.Concurrency = 25
+	cfg.BufferK = 3
+	cfg.StalenessCap = 1
+	ctrl := &countingController{}
+	res, err := RunAsync(fed, pop, ctrl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ledger.Discarded == 0 {
+		t.Skip("no update exceeded the staleness cap at this seed")
+	}
+	aggregated := cfg.BufferK * cfg.Rounds
+	// Discards at the final barrier belong to a batch that never fills, so
+	// only those popped before the last aggregation are guaranteed to have
+	// been delivered; the seed above produces plenty.
+	if ctrl.completedFeedback <= aggregated {
+		t.Fatalf("completed feedback %d not above the aggregated floor %d despite %d discards",
+			ctrl.completedFeedback, aggregated, res.Ledger.Discarded)
+	}
+}
