@@ -1,0 +1,83 @@
+package main
+
+import (
+	"testing"
+
+	"floatfl/internal/lint"
+)
+
+func TestSelectRules(t *testing.T) {
+	all := lint.RuleNames()
+
+	cases := []struct {
+		name    string
+		spec    string
+		want    []string // nil means "all rules" (enabled == nil)
+		wantErr bool
+	}{
+		{name: "empty means all", spec: "", want: nil},
+		{name: "all keyword", spec: "all", want: nil},
+		{name: "single select", spec: "no-wall-clock", want: []string{"no-wall-clock"}},
+		{name: "multi select", spec: "no-wall-clock, map-order-hazard",
+			want: []string{"no-wall-clock", "map-order-hazard"}},
+		{name: "skip one", spec: "-naked-goroutine",
+			want: remove(all, "naked-goroutine")},
+		{name: "skip two", spec: "-naked-goroutine,-no-global-rand",
+			want: remove(remove(all, "naked-goroutine"), "no-global-rand")},
+		{name: "unknown rule", spec: "no-such-rule", wantErr: true},
+		{name: "unknown skip", spec: "-no-such-rule", wantErr: true},
+		{name: "mixing select and skip", spec: "no-wall-clock,-naked-goroutine", wantErr: true},
+		{name: "skip everything", spec: "-" + join(all, ",-"), wantErr: true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			enabled, err := selectRules(tc.spec)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("selectRules(%q) = %v, want error", tc.spec, enabled)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("selectRules(%q): %v", tc.spec, err)
+			}
+			if tc.want == nil {
+				if enabled != nil {
+					t.Fatalf("selectRules(%q) = %v, want nil (all rules)", tc.spec, enabled)
+				}
+				return
+			}
+			if len(enabled) != len(tc.want) {
+				t.Fatalf("selectRules(%q) enabled %d rules %v, want %d %v",
+					tc.spec, len(enabled), enabled, len(tc.want), tc.want)
+			}
+			for _, name := range tc.want {
+				if !enabled[name] {
+					t.Errorf("selectRules(%q) did not enable %s", tc.spec, name)
+				}
+			}
+		})
+	}
+}
+
+func remove(names []string, drop string) []string {
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		if n != drop {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func join(names []string, sep string) string {
+	s := ""
+	for i, n := range names {
+		if i > 0 {
+			s += sep
+		}
+		s += n
+	}
+	return s
+}

@@ -69,6 +69,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	//lint:allow naked-goroutine server goroutine lives for the process lifetime; the listener closes at exit
 	go func() {
 		if err := http.Serve(ln, srv.Handler()); err != nil {
 			// Listener closes at process exit; nothing to do.

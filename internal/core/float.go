@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sort"
 
 	"floatfl/internal/device"
 	"floatfl/internal/fl"
@@ -136,8 +137,16 @@ func (f *Float) Summary() Summary {
 	if f.agent != nil {
 		agents = append(agents, f.agent)
 	} else {
-		for _, a := range f.perClient {
-			agents = append(agents, a)
+		// Merge per-client agents in client-ID order: the reward and
+		// Q-statistic merges below are floating-point sums, so map-order
+		// iteration would make the summary nondeterministic.
+		ids := make([]int, 0, len(f.perClient))
+		for id := range f.perClient {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			agents = append(agents, f.perClient[id])
 		}
 	}
 	var sum Summary

@@ -7,7 +7,10 @@
 // configure (alpha = 0.01 ... 0.1 for non-IID, large alpha for IID).
 package data
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Profile describes one synthetic dataset family.
 type Profile struct {
@@ -57,11 +60,12 @@ func LookupProfile(name string) (Profile, error) {
 	return p, nil
 }
 
-// ProfileNames returns the registered dataset names (unordered).
+// ProfileNames returns the registered dataset names, sorted.
 func ProfileNames() []string {
 	out := make([]string, 0, len(profiles))
 	for k := range profiles {
 		out = append(out, k)
 	}
+	sort.Strings(out)
 	return out
 }

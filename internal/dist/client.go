@@ -325,6 +325,7 @@ func (c *Client) backoff(ctx context.Context, policy RetryPolicy, attempt int) e
 }
 
 func ctxSleep(ctx context.Context, d time.Duration) error {
+	//lint:allow no-wall-clock default real sleep used only when no Client.Sleep is injected; tests always inject
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {

@@ -322,6 +322,7 @@ func (s *Server) aggregateLocked() error {
 		for i := range s.weights {
 			s.weights[i] /= totalW
 		}
+		//lint:allow flat-view-mutation aggregator owns the global model; in-place update is the sanctioned fast path (DESIGN.md buffer ownership)
 		tensor.AddWeighted(s.global.Parameters(), s.weights, s.deltas)
 	}
 	s.deltas = s.deltas[:0]

@@ -1,0 +1,20 @@
+package experiment
+
+import "time"
+
+// timeNow is the package's single wall-clock source, injected so the
+// overhead figures (Fig 8's per-update/per-select microsecond columns)
+// can be driven by a fake clock in tests and reproduced deterministically.
+// Everything else in the package is simulated time; only the RLHF-overhead
+// measurement genuinely reads the wall clock.
+//
+//lint:allow no-wall-clock single injectable wall-clock source; tests substitute a fake via setTimeNow
+var timeNow = time.Now
+
+// setTimeNow swaps the wall-clock source and returns a restore function
+// (test hook).
+func setTimeNow(now func() time.Time) (restore func()) {
+	prev := timeNow
+	timeNow = now
+	return func() { timeNow = prev }
+}

@@ -1,0 +1,43 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFig8FakeClockDeterministic injects a fake wall clock that advances a
+// fixed step per read and checks Fig 8's timing columns come out exactly
+// as the step dictates: the only genuine wall-clock read in the package is
+// behind the injectable timeNow, so the figure is reproducible under test.
+func TestFig8FakeClockDeterministic(t *testing.T) {
+	var now time.Time
+	restore := setTimeNow(func() time.Time {
+		now = now.Add(time.Millisecond)
+		return now
+	})
+	defer restore()
+
+	tables, err := Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("Fig8 returned %d tables, want 1", len(tables))
+	}
+	tab := tables[0]
+	if len(tab.Rows) == 0 {
+		t.Fatal("Fig8 produced no rows")
+	}
+	// Each timing window is bounded by two reads of the fake clock, so the
+	// measured interval is exactly one step (1ms) over 2000 iterations:
+	// 1000us / 2000 = 0.5us per op, for both columns of every row.
+	for i, row := range tab.Rows {
+		if len(row) != 4 {
+			t.Fatalf("row %d has %d columns, want 4: %v", i, len(row), row)
+		}
+		if row[2] != "0.500" || row[3] != "0.500" {
+			t.Errorf("row %d timing columns = (%s, %s), want (0.500, 0.500) under the fake clock",
+				i, row[2], row[3])
+		}
+	}
+}

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"sort"
 
 	"floatfl/internal/device"
 	"floatfl/internal/fl"
@@ -199,7 +200,15 @@ func techBreakdownTable(title string, results map[string]*fl.Result) Table {
 		Title:  title,
 		Header: []string{"controller", "technique", "success", "failure"},
 	}
-	for name, res := range results {
+	// Rows come out in controller-name order; ranging the map directly
+	// would shuffle the table between runs.
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		res := results[name]
 		for _, tech := range techniqueOrder() {
 			s := res.Ledger.TechSuccess[tech]
 			f := res.Ledger.TechFailure[tech]

@@ -3,7 +3,6 @@ package experiment
 import (
 	"bytes"
 	"fmt"
-	"time"
 
 	"floatfl/internal/core"
 	"floatfl/internal/fl"
@@ -34,19 +33,19 @@ func Fig8() ([]Table, error) {
 			}
 		}
 		const iters = 2000
-		start := time.Now()
+		start := timeNow()
 		for i := 0; i < iters; i++ {
 			s := states[i%nStates]
 			if err := a.Update(i%300, s, opt.TechQuant8, true, 0.1, s); err != nil {
 				return nil, err
 			}
 		}
-		updateUS := float64(time.Since(start).Microseconds()) / iters
-		start = time.Now()
+		updateUS := float64(timeNow().Sub(start).Microseconds()) / iters
+		start = timeNow()
 		for i := 0; i < iters; i++ {
 			a.SelectAction(states[i%nStates])
 		}
-		selectUS := float64(time.Since(start).Microseconds()) / iters
+		selectUS := float64(timeNow().Sub(start).Microseconds()) / iters
 		tab.Rows = append(tab.Rows, []string{
 			d(nStates), f2(float64(a.MemoryBytes()) / 1024), f3(updateUS), f3(selectUS),
 		})

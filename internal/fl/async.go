@@ -308,5 +308,6 @@ func RunAsync(fed *data.Federation, pop []*device.Client, ctrl Controller, cfg C
 	res.FinalClientAccs = evaluateClients(global, fed)
 	res.FinalAccStats = metrics.ComputeAccuracyStats(res.FinalClientAccs)
 	res.FinalGlobalAcc, _ = global.Evaluate(fed.GlobalTest)
+	res.FinalParams = global.Parameters().Clone()
 	return res, nil
 }

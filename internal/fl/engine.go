@@ -184,6 +184,11 @@ type Result struct {
 
 	WallClockSeconds float64
 	DeadlineSec      float64
+
+	// FinalParams is a frozen copy of the global model's flat parameter
+	// vector at the end of the run. It is what the determinism regression
+	// tests compare bit-for-bit across worker counts.
+	FinalParams tensor.Vector
 }
 
 // AutoDeadline derives the synchronous round deadline as a percentile of
@@ -349,6 +354,7 @@ func applyAggregate(global *nn.Model, deltas []tensor.Vector, weights []float64)
 	for i := range keptW {
 		keptW[i] /= totalW
 	}
+	//lint:allow flat-view-mutation aggregator owns the global model; in-place update is the sanctioned fast path (DESIGN.md buffer ownership)
 	tensor.AddWeighted(global.Parameters(), keptW, kept)
 	return nil
 }

@@ -1,0 +1,70 @@
+package fl
+
+import (
+	"bytes"
+	"math"
+	"runtime"
+	"testing"
+
+	"floatfl/internal/selection"
+	"floatfl/internal/trace"
+)
+
+// runSyncUnderProcs runs a complete sync-engine experiment with the JSONL
+// metrics logger attached while GOMAXPROCS is pinned to procs, restoring
+// the previous value before returning. The parallel worker pool is kept at
+// 8 so the runtime scheduler — not the engine's slot assignment — is the
+// only thing that changes between calls.
+func runSyncUnderProcs(t *testing.T, procs int) (*Result, string) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+
+	fed, pop := testSetup(t, 20, trace.ScenarioDynamic)
+	var buf bytes.Buffer
+	logger := NewJSONLLogger(&buf)
+	cfg := parSyncConfig(8)
+	cfg.Logger = logger
+	res, err := RunSync(fed, pop, selection.NewRandom(7), newFeedbackDriven(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := logger.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.String()
+}
+
+// TestRunSyncGOMAXPROCSInvariant is the determinism regression test the
+// static analyzer backs up: the same seeded experiment run on a single OS
+// thread and on eight must produce bit-identical final parameters and a
+// byte-identical JSONL metrics log. Any wall-clock read, global-rand draw,
+// or map-order dependence on the training path shows up here as a diff.
+func TestRunSyncGOMAXPROCSInvariant(t *testing.T) {
+	resOne, logOne := runSyncUnderProcs(t, 1)
+	resMany, logMany := runSyncUnderProcs(t, 8)
+
+	assertIdenticalResults(t, "sync procs1-vs-procs8", resOne, resMany)
+
+	if len(resOne.FinalParams) == 0 {
+		t.Fatal("FinalParams not populated by RunSync")
+	}
+	if len(resOne.FinalParams) != len(resMany.FinalParams) {
+		t.Fatalf("FinalParams lengths differ: %d vs %d", len(resOne.FinalParams), len(resMany.FinalParams))
+	}
+	for i := range resOne.FinalParams {
+		a, b := resOne.FinalParams[i], resMany.FinalParams[i]
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("FinalParams[%d] differs bitwise: %x (%v) vs %x (%v)",
+				i, math.Float64bits(a), a, math.Float64bits(b), b)
+		}
+	}
+
+	if logOne != logMany {
+		t.Errorf("JSONL metrics logs differ between GOMAXPROCS=1 and GOMAXPROCS=8 (%d vs %d bytes)",
+			len(logOne), len(logMany))
+	}
+	if logOne == "" {
+		t.Error("JSONL metrics log is empty; the logger was not exercised")
+	}
+}

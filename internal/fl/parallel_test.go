@@ -106,6 +106,9 @@ func assertIdenticalResults(t *testing.T, label string, a, b *Result) {
 	if !reflect.DeepEqual(a.Ledger, b.Ledger) {
 		t.Errorf("%s: ledgers differ:\n  a=%+v\n  b=%+v", label, a.Ledger, b.Ledger)
 	}
+	if !reflect.DeepEqual(a.FinalParams, b.FinalParams) {
+		t.Errorf("%s: FinalParams differ", label)
+	}
 }
 
 // TestRunSyncParallelismBitIdentical is the determinism golden test:

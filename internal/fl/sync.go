@@ -212,5 +212,6 @@ func RunSync(fed *data.Federation, pop []*device.Client, sel selection.Selector,
 	res.FinalClientAccs = evaluateClients(global, fed)
 	res.FinalAccStats = metrics.ComputeAccuracyStats(res.FinalClientAccs)
 	res.FinalGlobalAcc, _ = global.Evaluate(fed.GlobalTest)
+	res.FinalParams = global.Parameters().Clone()
 	return res, nil
 }

@@ -1,0 +1,233 @@
+// Package lint is floatlint's analysis engine: a from-scratch static
+// analyzer built on the standard library's go/parser, go/ast, go/token,
+// and go/types (no golang.org/x/tools), honoring the repository's
+// offline/stdlib-only constraint.
+//
+// It enforces the invariants the reproduction's evaluation rests on —
+// the determinism contract of the parallel engines (PR 1), the aliasing
+// rules of the flat parameter buffers (PR 2), and the clock-injection
+// discipline of the distributed aggregator (PR 3) — as machine-checked
+// rules instead of reviewer convention. Each rule reports file/line-keyed
+// findings and honors an explicit allowlist directive:
+//
+//	//lint:allow <rule> <reason>
+//
+// placed on the offending line or on its own line immediately above
+// (directives stack). A directive must name a registered rule and carry a
+// non-empty reason; malformed directives are themselves findings.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic: a rule name, a position, and a message.
+type Finding struct {
+	Rule    string         `json:"rule"`
+	Pos     token.Position `json:"pos"`
+	Message string         `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Rule, f.Message)
+}
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Info  *types.Info
+	Types *types.Package
+}
+
+// Pass is the per-file context handed to a rule's Check function.
+type Pass struct {
+	Pkg      *Package
+	File     *ast.File
+	Filename string // slash-separated, as recorded in the FileSet
+	report   func(pos token.Pos, msg string)
+}
+
+// Report records a finding at pos.
+func (p *Pass) Report(pos token.Pos, format string, args ...interface{}) {
+	p.report(pos, fmt.Sprintf(format, args...))
+}
+
+// TypeOf returns the type of e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// ObjectOf returns the object an identifier denotes, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.Pkg.Info.ObjectOf(id) }
+
+// Rule is one analyzer. Adding a rule means appending a ~30-line entry to
+// the Rules table: a name, a doc line, and a Check function over one file.
+type Rule struct {
+	Name string
+	Doc  string
+	// SkipTests excludes _test.go files (rules whose hazard is specific to
+	// production code paths, or whose forbidden pattern is the very thing
+	// tests must do to exercise it).
+	SkipTests bool
+	Check     func(*Pass)
+}
+
+// Rules is the registry of analyzers, in reporting order.
+var Rules = []*Rule{
+	ruleNoWallClock,
+	ruleNoGlobalRand,
+	ruleMapOrderHazard,
+	ruleFlatViewMutation,
+	ruleNakedGoroutine,
+}
+
+// RuleNames returns the registered rule names in order.
+func RuleNames() []string {
+	names := make([]string, len(Rules))
+	for i, r := range Rules {
+		names[i] = r.Name
+	}
+	return names
+}
+
+func ruleByName(name string) *Rule {
+	for _, r := range Rules {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// directive is one parsed //lint:allow comment.
+type directive struct {
+	rule   string
+	reason string
+	line   int
+	pos    token.Pos
+}
+
+// fileDirectives scans a file's comments for //lint:allow directives.
+// Malformed directives (unknown rule, missing reason) are reported
+// through report.
+func fileDirectives(fset *token.FileSet, file *ast.File, report func(pos token.Pos, msg string)) []directive {
+	var dirs []directive
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(text)
+			pos := c.Slash
+			if len(fields) == 0 {
+				report(pos, "malformed //lint:allow directive: missing rule name and reason")
+				continue
+			}
+			rule, reason := fields[0], strings.Join(fields[1:], " ")
+			if ruleByName(rule) == nil {
+				report(pos, fmt.Sprintf("//lint:allow names unknown rule %q (known: %s)",
+					rule, strings.Join(RuleNames(), ", ")))
+				continue
+			}
+			if reason == "" {
+				report(pos, fmt.Sprintf("//lint:allow %s needs a reason", rule))
+				continue
+			}
+			dirs = append(dirs, directive{rule: rule, reason: reason, line: fset.Position(pos).Line, pos: pos})
+		}
+	}
+	return dirs
+}
+
+// suppressed reports whether a finding of rule at line is covered by a
+// directive: one on the same line, or a stack of directive-bearing lines
+// immediately above it.
+func suppressed(dirs []directive, rule string, line int) bool {
+	lines := make(map[int]bool, len(dirs))
+	for _, d := range dirs {
+		lines[d.line] = true
+	}
+	match := func(l int) bool {
+		for _, d := range dirs {
+			if d.line == l && d.rule == rule {
+				return true
+			}
+		}
+		return false
+	}
+	if match(line) {
+		return true
+	}
+	for l := line - 1; lines[l]; l-- {
+		if match(l) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the enabled rules over pkgs and returns the unsuppressed
+// findings sorted by position. enabled==nil runs every rule.
+func Run(pkgs []*Package, enabled map[string]bool) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			tf := pkg.Fset.File(file.Pos())
+			if tf == nil {
+				continue
+			}
+			filename := filepath.ToSlash(tf.Name())
+			isTest := strings.HasSuffix(filename, "_test.go")
+
+			// Directive problems are findings themselves and cannot be
+			// suppressed (a broken directive must not silence anything).
+			var dirFindings []Finding
+			dirs := fileDirectives(pkg.Fset, file, func(pos token.Pos, msg string) {
+				dirFindings = append(dirFindings, Finding{
+					Rule: "directive", Pos: pkg.Fset.Position(pos), Message: msg,
+				})
+			})
+			findings = append(findings, dirFindings...)
+
+			for _, rule := range Rules {
+				if enabled != nil && !enabled[rule.Name] {
+					continue
+				}
+				if rule.SkipTests && isTest {
+					continue
+				}
+				rule := rule
+				pass := &Pass{Pkg: pkg, File: file, Filename: filename}
+				pass.report = func(pos token.Pos, msg string) {
+					p := pkg.Fset.Position(pos)
+					if suppressed(dirs, rule.Name, p.Line) {
+						return
+					}
+					findings = append(findings, Finding{Rule: rule.Name, Pos: p, Message: msg})
+				}
+				rule.Check(pass)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return findings
+}

@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// wallClockFuncs are the package time entry points that read or act on
+// wall time. Referencing one (call or function value) couples behavior to
+// real time, which the determinism contract forbids outside the sanctioned
+// realClock implementation.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTicker": true, "NewTimer": true,
+}
+
+// clockSanctionedFile is the one file allowed to touch package time
+// directly: it defines the injectable Clock interface and its real
+// implementation. Everything else must accept a Clock.
+const clockSanctionedFile = "internal/dist/clock.go"
+
+var ruleNoWallClock = &Rule{
+	Name: "no-wall-clock",
+	Doc: "forbids time.Now/Since/Sleep/After & friends outside internal/dist/clock.go; " +
+		"timing must flow through an injected Clock",
+	SkipTests: true,
+	Check: func(pass *Pass) {
+		if strings.HasSuffix(pass.Filename, clockSanctionedFile) {
+			return
+		}
+		ast.Inspect(pass.File, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.ObjectOf(sel.Sel)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if _, isFunc := obj.(*types.Func); !isFunc || !wallClockFuncs[obj.Name()] {
+				return true
+			}
+			pass.Report(sel.Pos(),
+				"time.%s reads the wall clock; inject a Clock (internal/dist/clock.go) so tests and reruns stay deterministic",
+				obj.Name())
+			return true
+		})
+	},
+}

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ruleNakedGoroutine flags `go func` literals in non-test code with no
+// visible join or cancellation signal: nothing in the literal (or its
+// arguments) mentions a context.Context, a sync.WaitGroup, or a channel.
+// Such a goroutine cannot be waited for or stopped — the leak class the
+// dist chaos tests check at runtime, caught here at review time.
+var ruleNakedGoroutine = &Rule{
+	Name: "naked-goroutine",
+	Doc: "flags go func literals with no context.Context, sync.WaitGroup, " +
+		"or channel join — unstoppable goroutines leak",
+	SkipTests: true,
+	Check: func(pass *Pass) {
+		ast.Inspect(pass.File, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if _, isLit := gs.Call.Fun.(*ast.FuncLit); !isLit {
+				return true
+			}
+			if hasJoinSignal(pass, gs) {
+				return true
+			}
+			pass.Report(gs.Pos(),
+				"goroutine has no join or cancellation signal (context.Context, sync.WaitGroup, or channel); it can outlive its caller and leak")
+			return true
+		})
+	},
+}
+
+// hasJoinSignal reports whether anything in the go statement's subtree is
+// typed as a channel, a context.Context, or a sync.WaitGroup.
+func hasJoinSignal(pass *Pass, gs *ast.GoStmt) bool {
+	found := false
+	ast.Inspect(gs, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(e)
+		if t == nil {
+			return true
+		}
+		if isJoinType(t) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isJoinType(t types.Type) bool {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch {
+	case obj.Pkg().Path() == "context" && obj.Name() == "Context":
+		return true
+	case obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup":
+		return true
+	}
+	return false
+}

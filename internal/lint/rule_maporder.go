@@ -1,0 +1,242 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ruleMapOrderHazard flags `for range` over a map whose body feeds
+// order-sensitive state — the classic silent killer of bit-identical
+// aggregation, since Go randomizes map iteration order per run.
+//
+// Hazards recognized inside the loop body:
+//
+//   - floating-point accumulation into a variable declared outside the
+//     loop (float addition is not associative, so the sum depends on
+//     visit order);
+//   - append to a slice declared outside the loop (the element order
+//     escapes), unless the very same slice is passed to a sort.* /
+//     slices.* call later in the enclosing block — the collect-then-sort
+//     idiom is deterministic;
+//   - a channel send (delivery order escapes to another goroutine).
+//
+// Deliberately not flagged: integer accumulation (associative and exact),
+// and writes indexed per key (m2[k] = v, acc[i] += x) — each key touches
+// its own cell, so visit order cannot change the result.
+var ruleMapOrderHazard = &Rule{
+	Name: "map-order-hazard",
+	Doc: "flags map iteration feeding order-sensitive state (float accumulation, " +
+		"escaping append, channel send) unless the result is sorted",
+	SkipTests: false,
+	Check: func(pass *Pass) {
+		ast.Inspect(pass.File, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(pass, rs)
+			return true
+		})
+	},
+}
+
+func checkMapRangeBody(pass *Pass, rs *ast.RangeStmt) {
+	mapName := types.ExprString(rs.X)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.SendStmt:
+			pass.Report(stmt.Pos(),
+				"send inside range over map %s publishes values in nondeterministic order; iterate sorted keys",
+				mapName)
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, rs, stmt, mapName)
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(pass *Pass, rs *ast.RangeStmt, as *ast.AssignStmt, mapName string) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		lhs := as.Lhs[0]
+		if isFloatExpr(pass, lhs) && declaredOutside(pass, lhs, rs) {
+			pass.Report(as.Pos(),
+				"floating-point accumulation inside range over map %s depends on iteration order; iterate sorted keys",
+				mapName)
+		}
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			// x = x <op> y float self-accumulation.
+			if bin, ok := rhs.(*ast.BinaryExpr); ok && isFloatExpr(pass, as.Lhs[i]) &&
+				declaredOutside(pass, as.Lhs[i], rs) && mentionsObject(pass, bin, as.Lhs[i]) {
+				pass.Report(as.Pos(),
+					"floating-point accumulation inside range over map %s depends on iteration order; iterate sorted keys",
+					mapName)
+				continue
+			}
+			// s = append(s, ...) where s escapes the loop unsorted. The
+			// target may be a local (names = append(names, k)) or a field
+			// (tab.Rows = append(tab.Rows, row)).
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok || fn.Name != "append" {
+				continue
+			}
+			if _, isBuiltin := pass.ObjectOf(fn).(*types.Builtin); !isBuiltin {
+				continue
+			}
+			obj := appendTargetObj(pass, as.Lhs[i])
+			if obj == nil || !objOutside(obj, rs) {
+				continue
+			}
+			if sortedAfter(pass, rs, obj) {
+				continue
+			}
+			pass.Report(as.Pos(),
+				"append inside range over map %s records elements in nondeterministic order; sort the result or iterate sorted keys",
+				mapName)
+		}
+	}
+}
+
+func isFloatExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// declaredOutside reports whether the assignable expression e refers to
+// state that outlives one loop iteration: an identifier declared outside
+// the range statement, or any selector (struct field) — fields belong to
+// values that exist before the loop. Index expressions are treated as
+// per-key cells and excluded by the callers.
+func declaredOutside(pass *Pass, e ast.Expr, rs *ast.RangeStmt) bool {
+	switch v := e.(type) {
+	case *ast.Ident:
+		obj := pass.ObjectOf(v)
+		return obj != nil && objOutside(obj, rs)
+	case *ast.SelectorExpr:
+		return true
+	}
+	return false
+}
+
+func objOutside(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() < rs.Pos() || obj.Pos() >= rs.End()
+}
+
+// appendTargetObj resolves the object an append target denotes: the
+// variable for an identifier, the field for a selector. Struct fields are
+// matched by their field object, which also lets sortedAfter recognize
+// sort.Slice(x.Rows, ...) against x.Rows = append(x.Rows, ...).
+func appendTargetObj(pass *Pass, lhs ast.Expr) types.Object {
+	switch t := lhs.(type) {
+	case *ast.Ident:
+		return pass.ObjectOf(t)
+	case *ast.SelectorExpr:
+		return pass.ObjectOf(t.Sel)
+	}
+	return nil
+}
+
+// mentionsObject reports whether expr references the same object as ref
+// (an identifier), i.e. the assignment reads its own target.
+func mentionsObject(pass *Pass, expr ast.Expr, ref ast.Expr) bool {
+	id, ok := ref.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if other, ok := n.(*ast.Ident); ok && pass.ObjectOf(other) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sortedAfter recognizes the collect-then-sort idiom: somewhere after the
+// range statement in its enclosing block, obj is passed to a function of
+// package sort or slices. That makes the append order irrelevant.
+func sortedAfter(pass *Pass, rs *ast.RangeStmt, obj types.Object) bool {
+	var block *ast.BlockStmt
+	ast.Inspect(pass.File, func(n ast.Node) bool {
+		if block != nil {
+			return false
+		}
+		b, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for _, stmt := range b.List {
+			if stmt == ast.Stmt(rs) {
+				block = b
+				return false
+			}
+		}
+		return true
+	})
+	if block == nil {
+		return false
+	}
+	after := false
+	for _, stmt := range block.List {
+		if stmt == ast.Stmt(rs) {
+			after = true
+			continue
+		}
+		if !after {
+			continue
+		}
+		sorts := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fnObj := pass.ObjectOf(sel.Sel)
+			if fnObj == nil || fnObj.Pkg() == nil {
+				return true
+			}
+			if p := fnObj.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if argObj := appendTargetObj(pass, arg); argObj != nil && argObj == obj {
+					sorts = true
+				}
+			}
+			return !sorts
+		})
+		if sorts {
+			return true
+		}
+	}
+	return false
+}

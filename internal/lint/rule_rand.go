@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randConstructors are the package-level math/rand functions that build
+// explicitly seeded generators rather than drawing from the shared global
+// source; everything else at package level is forbidden.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 constructors.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+var ruleNoGlobalRand = &Rule{
+	Name: "no-global-rand",
+	Doc: "forbids math/rand's package-level functions (global source); " +
+		"randomness must flow from a seeded *rand.Rand",
+	// The global source would silently break seeded golden tests, so the
+	// rule covers test files too.
+	SkipTests: false,
+	Check: func(pass *Pass) {
+		ast.Inspect(pass.File, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.ObjectOf(sel.Sel)
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if p := obj.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+				return true
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok || randConstructors[fn.Name()] {
+				return true
+			}
+			// Methods on *rand.Rand have a receiver — those are the seeded
+			// path and are fine; package-level functions are not.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			pass.Report(sel.Pos(),
+				"rand.%s draws from math/rand's shared global source; derive values from a seeded *rand.Rand instead",
+				fn.Name())
+			return true
+		})
+	},
+}

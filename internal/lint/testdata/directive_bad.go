@@ -1,0 +1,16 @@
+// Fixture: malformed //lint:allow directives are findings themselves
+// (rule name "directive") and never suppress anything.
+package fixture
+
+import "time"
+
+//lint:allow
+
+//lint:allow bogus-rule some reason
+
+//lint:allow no-wall-clock
+
+func brokenDirectives() time.Time {
+	//lint:allow not-a-rule broken directives must not silence findings
+	return time.Now() // still reported: the directive above names an unknown rule
+}

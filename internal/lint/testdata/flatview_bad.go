@@ -1,0 +1,56 @@
+// Fixture: every aliasing hazard the flat-view-mutation rule must flag.
+// The local Model/Vec types stand in for nn.Model and tensor.Vector — the
+// rule keys on the Parameters/Gradients method shape and the float64-slice
+// type, not on package identity, so the fixture stays standalone.
+package fixture
+
+type Vec []float64
+
+func (v Vec) Clone() Vec {
+	out := make(Vec, len(v))
+	copy(out, v)
+	return out
+}
+
+func (v Vec) Scale(a float64) {
+	for i := range v {
+		v[i] *= a
+	}
+}
+
+type Model struct {
+	p Vec
+	g Vec
+}
+
+func (m *Model) Parameters() Vec { return m.p }
+func (m *Model) Gradients() Vec  { return m.g }
+
+func AddWeighted(dst Vec, w []float64, parts []Vec) {
+	for i := range parts {
+		for j := range dst {
+			dst[j] += w[i] * parts[i][j]
+		}
+	}
+}
+
+type snapshot struct {
+	params Vec
+}
+
+func misuse(m *Model, s *snapshot) {
+	s.params = m.Parameters() // want flat-view-mutation (field store)
+
+	cache := map[int]Vec{}
+	cache[0] = m.Parameters() // want flat-view-mutation (container store)
+
+	_ = []Vec{m.Gradients()} // want flat-view-mutation (composite literal)
+
+	p := m.Parameters()
+	p.Scale(0.5) // want flat-view-mutation (in-place kernel on a view)
+
+	AddWeighted(m.Parameters(), nil, nil) // want flat-view-mutation (dst position)
+
+	src := make(Vec, len(p))
+	copy(p, src) // want flat-view-mutation (copy into a view)
+}

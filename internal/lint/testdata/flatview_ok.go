@@ -1,0 +1,52 @@
+// Fixture: the sanctioned flat-buffer patterns — Clone() before storing or
+// mutating, read-only use of a view, and an allowlisted in-place
+// aggregation site. Must produce zero findings.
+package fixture
+
+type OkVec []float64
+
+func (v OkVec) Clone() OkVec {
+	out := make(OkVec, len(v))
+	copy(out, v)
+	return out
+}
+
+func (v OkVec) Scale(a float64) {
+	for i := range v {
+		v[i] *= a
+	}
+}
+
+type OkModel struct {
+	p OkVec
+}
+
+func (m *OkModel) Parameters() OkVec { return m.p }
+
+func okAddWeighted(dst OkVec, w []float64, parts []OkVec) {
+	for i := range parts {
+		for j := range dst {
+			dst[j] += w[i] * parts[i][j]
+		}
+	}
+}
+
+type okSnapshot struct {
+	params OkVec
+}
+
+func properUse(m *OkModel, s *okSnapshot) float64 {
+	s.params = m.Parameters().Clone() // fresh storage: clean
+
+	c := m.Parameters().Clone()
+	c.Scale(0.5) // mutating the clone, not the model: clean
+
+	var sum float64
+	for _, x := range m.Parameters() {
+		sum += x // reading through the view: clean
+	}
+
+	//lint:allow flat-view-mutation fixture: this aggregator owns the model it updates in place
+	okAddWeighted(m.Parameters(), nil, nil)
+	return sum
+}

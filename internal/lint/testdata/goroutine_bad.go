@@ -1,0 +1,17 @@
+// Fixture: go func literals with no join or cancellation signal — the
+// naked-goroutine rule must flag each one.
+package fixture
+
+func leak() {
+	go func() { // want naked-goroutine
+		for i := 0; i < 10; i++ {
+			_ = i
+		}
+	}()
+}
+
+func leakWithArgs(xs []int) {
+	go func(n int) { // want naked-goroutine (plain args are no join signal)
+		_ = n * 2
+	}(len(xs))
+}

@@ -1,0 +1,39 @@
+// Fixture: the sanctioned goroutine patterns — WaitGroup join, channel
+// join, context cancellation, and one allowlisted process-lifetime
+// goroutine. Must produce zero findings.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+func waitGroupJoin() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func channelJoin() {
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+}
+
+func contextCancel(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func allowedLifetime() {
+	//lint:allow naked-goroutine fixture: process-lifetime helper, reaped at exit
+	go func() {
+		_ = 1
+	}()
+}

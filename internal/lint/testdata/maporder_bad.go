@@ -1,0 +1,43 @@
+// Fixture: map iterations whose bodies feed order-sensitive state — the
+// map-order-hazard rule must flag each one.
+package fixture
+
+func floatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want map-order-hazard (float compound-assign)
+	}
+	return sum
+}
+
+func floatSelfAssign(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want map-order-hazard (x = x + y form)
+	}
+	return total
+}
+
+func escapingAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want map-order-hazard (no sort afterwards)
+	}
+	return keys
+}
+
+type resultTable struct {
+	rows [][]string
+}
+
+func fieldAppend(m map[string]int, t *resultTable) {
+	for k := range m {
+		t.rows = append(t.rows, []string{k}) // want map-order-hazard (field target)
+	}
+}
+
+func channelSend(m map[string]int, ch chan<- int) {
+	for _, v := range m {
+		ch <- v // want map-order-hazard (delivery order escapes)
+	}
+}

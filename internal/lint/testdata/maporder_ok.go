@@ -1,0 +1,51 @@
+// Fixture: the order-insensitive and sanctioned map-iteration patterns —
+// integer accumulation, per-key writes, collect-then-sort, and an
+// allowlisted float sum. Must produce zero findings.
+package fixture
+
+import "sort"
+
+func intAccum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // integers are exact and associative: order-independent
+	}
+	return n
+}
+
+func perKeyWrite(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2 // each key touches its own cell
+	}
+	return out
+}
+
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // the sort makes the append order irrelevant
+	return keys
+}
+
+type sortedTable struct {
+	rows [][]string
+}
+
+func fieldCollectThenSort(m map[string]int, t *sortedTable) {
+	for k := range m {
+		t.rows = append(t.rows, []string{k})
+	}
+	sort.Slice(t.rows, func(i, j int) bool { return t.rows[i][0] < t.rows[j][0] })
+}
+
+func allowedAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		//lint:allow map-order-hazard fixture: order error is below test tolerance here
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,17 @@
+// Fixture: package-level math/rand draws from the shared global source;
+// the no-global-rand rule must flag every one.
+package fixture
+
+import "math/rand"
+
+func draw() (int, float64) {
+	n := rand.Intn(10)  // want no-global-rand
+	f := rand.Float64() // want no-global-rand
+	return n, f
+}
+
+func shuffleGlobal(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want no-global-rand
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}

@@ -1,0 +1,16 @@
+// Fixture: the sanctioned randomness patterns — seeded generators built
+// through the constructors, methods on *rand.Rand, and one allowlisted
+// global draw. Must produce zero findings.
+package fixture
+
+import "math/rand"
+
+func seededDraw(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // constructors are the sanctioned path
+	return r.Intn(10)                   // method on a seeded *rand.Rand
+}
+
+func allowedDraw() int {
+	//lint:allow no-global-rand fixture demonstrating an annotated exception
+	return rand.Intn(10)
+}

@@ -1,0 +1,19 @@
+// Fixture: every direct package-time entry point the no-wall-clock rule
+// must flag. Constants like time.Millisecond are not wall-clock reads and
+// must stay clean.
+package fixture
+
+import "time"
+
+func stamps() (time.Time, time.Duration) {
+	start := time.Now()          // want no-wall-clock
+	time.Sleep(time.Millisecond) // want no-wall-clock
+	elapsed := time.Since(start) // want no-wall-clock
+	return start, elapsed
+}
+
+func timers() {
+	t := time.NewTimer(time.Second) // want no-wall-clock
+	defer t.Stop()
+	<-time.After(time.Second) // want no-wall-clock
+}

@@ -1,0 +1,21 @@
+// Fixture: the sanctioned patterns for time handling — an injected clock
+// interface (mirroring internal/dist/clock.go) and an explicitly
+// allowlisted direct read. Must produce zero findings.
+package fixture
+
+import "time"
+
+// clock mirrors the injectable Clock of internal/dist: callers receive
+// time through it instead of reading the wall clock.
+type clock interface {
+	Now() time.Time
+}
+
+func stampInjected(c clock) time.Time {
+	return c.Now() // method on the injected clock, not package time
+}
+
+func allowedStamp() time.Time {
+	//lint:allow no-wall-clock fixture demonstrating a sanctioned direct read
+	return time.Now()
+}

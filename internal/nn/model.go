@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"floatfl/internal/tensor"
 )
@@ -51,12 +52,13 @@ func LookupSpec(name string) (Spec, error) {
 	return s, nil
 }
 
-// ArchNames returns the registered architecture names (unordered).
+// ArchNames returns the registered architecture names, sorted.
 func ArchNames() []string {
 	out := make([]string, 0, len(registry))
 	for k := range registry {
 		out = append(out, k)
 	}
+	sort.Strings(out)
 	return out
 }
 

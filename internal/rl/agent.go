@@ -376,8 +376,15 @@ func (a *Agent) ActionSummary() []ActionStats {
 	for i, t := range a.actions {
 		out[i].Technique = t
 	}
-	for _, cs := range a.table {
-		for i, c := range cs {
+	// Visit states in key order: the weighted sums are floating-point, so
+	// map-order iteration would make the summary differ between runs.
+	keys := make([]int, 0, len(a.table))
+	for k := range a.table {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		for i, c := range a.table[k] {
 			if c.Visits == 0 {
 				continue
 			}
