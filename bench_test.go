@@ -20,6 +20,7 @@ import (
 	"floatfl/internal/experiment"
 	"floatfl/internal/fl"
 	"floatfl/internal/nn"
+	"floatfl/internal/obs"
 	"floatfl/internal/opt"
 	"floatfl/internal/rl"
 	"floatfl/internal/selection"
@@ -77,7 +78,9 @@ func BenchmarkAblationActionSpace(b *testing.B)   { figureBench(b, "ablation-act
 // per-round client parallelism. The federation and population are rebuilt
 // each iteration (off the clock) so every iteration simulates identical
 // rounds; the engines guarantee the results are bit-identical across
-// parallelism levels, so these two benchmarks measure pure speedup.
+// parallelism levels, so these two benchmarks measure pure speedup. The
+// obs registry and tracer ride along so the reported allocs/op include
+// the telemetry layer's per-round cost (CI gates this envelope).
 func benchRounds(b *testing.B, parallelism int) {
 	b.Helper()
 	cfg := fl.Config{
@@ -90,6 +93,8 @@ func benchRounds(b *testing.B, parallelism int) {
 		EvalEvery:       4,
 		Seed:            17,
 		Parallelism:     parallelism,
+		Metrics:         obs.NewRegistry(),
+		Tracer:          obs.NewTracer(),
 	}
 	b.ReportAllocs()
 	b.ResetTimer()

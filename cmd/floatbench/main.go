@@ -14,12 +14,35 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"floatfl/internal/experiment"
+	"floatfl/internal/obs"
 )
+
+// writeTelemetry writes one telemetry artifact to path ("-" = stdout).
+func writeTelemetry(path string, write func(io.Writer) error) {
+	if path == "-" {
+		if err := write(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "floatbench: telemetry:", err)
+		}
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "floatbench: telemetry:", err)
+		return
+	}
+	if err := write(f); err != nil {
+		fmt.Fprintln(os.Stderr, "floatbench: telemetry:", err)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "floatbench: telemetry:", err)
+	}
+}
 
 func main() {
 	var (
@@ -31,6 +54,8 @@ func main() {
 		rounds  = flag.Int("rounds", 0, "override round count")
 		seed    = flag.Int64("seed", 0, "override RNG seed")
 		par     = flag.Int("parallel", 0, "client-execution workers per round (0 = all CPU cores; results are identical for any value)")
+		metOut  = flag.String("metrics-out", "", "write the end-of-run metrics snapshot (text exposition) to this file ('-' = stdout)")
+		trOut   = flag.String("trace-out", "", "write the JSONL phase trace to this file ('-' = stdout; analyze with floatreport -trace)")
 	)
 	flag.Parse()
 
@@ -58,6 +83,21 @@ func main() {
 	if *par > 0 {
 		sc.Parallelism = *par
 	}
+	if *metOut != "" {
+		sc.Metrics = obs.NewRegistry()
+	}
+	if *trOut != "" {
+		sc.Tracer = obs.NewTracer()
+	}
+	// Telemetry accumulates across every figure run this invocation.
+	defer func() {
+		if sc.Metrics != nil {
+			writeTelemetry(*metOut, sc.Metrics.WriteText)
+		}
+		if sc.Tracer != nil {
+			writeTelemetry(*trOut, sc.Tracer.WriteJSONL)
+		}
+	}()
 
 	names := experiment.FigureNames()
 	if *figs != "all" {

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 
 	"floatfl/internal/core"
 	"floatfl/internal/data"
@@ -42,6 +43,7 @@ func main() {
 		lease      = flag.Float64("lease", 0, "task lease seconds before a silent client's slot is reclaimed (0 = 2x deadline)")
 		roundSec   = flag.Float64("round-sec", 0, "round timer seconds before a partial buffer is aggregated (0 = 2x lease)")
 		minUpdates = flag.Int("min-updates", 0, "minimum buffered updates the round timer will aggregate (0 = 1)")
+		pprofOn    = flag.Bool("pprof", false, "also serve net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -89,7 +91,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("floatd: serving %s/%s on %s (controller=%s, k=%d)\n",
-		*dataset, *arch, *addr, ctrl.Name(), *k)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	// The aggregator's mux already serves /v1/metrics; pprof is opt-in so
+	// a default deployment exposes no profiling surface.
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	fmt.Printf("floatd: serving %s/%s on %s (controller=%s, k=%d, pprof=%v)\n",
+		*dataset, *arch, *addr, ctrl.Name(), *k, *pprofOn)
+	log.Fatal(http.ListenAndServe(*addr, mux))
 }

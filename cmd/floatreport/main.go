@@ -4,11 +4,17 @@
 // resource totals — the analog of analyzing the paper artifact's
 // `<dataset>_logging` output.
 //
+// With -trace it instead summarizes a JSONL phase trace (floatsim
+// -trace-out): phase time breakdown, slowest clients, and the
+// drop/lease/timer event timeline.
+//
 // Usage:
 //
 //	floatsim -dataset femnist -controller float -log run.jsonl
 //	floatreport -in run.jsonl
 //	floatreport -in run.jsonl -trend
+//	floatsim -dataset femnist -trace-out run.trace.jsonl
+//	floatreport -trace run.trace.jsonl
 package main
 
 import (
@@ -22,11 +28,25 @@ import (
 func main() {
 	var (
 		in    = flag.String("in", "", "path to a JSONL training log")
+		trace = flag.String("trace", "", "path to a JSONL phase trace (floatsim -trace-out); prints the trace summary instead")
 		trend = flag.Bool("trend", false, "also print the per-round completion trend")
 	)
 	flag.Parse()
+	if *trace != "" {
+		f, err := os.Open(*trace)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		ts, err := report.ParseTrace(f)
+		if err != nil {
+			fatal(err)
+		}
+		ts.Fprint(os.Stdout)
+		return
+	}
 	if *in == "" {
-		fmt.Fprintln(os.Stderr, "floatreport: -in is required")
+		fmt.Fprintln(os.Stderr, "floatreport: -in or -trace is required")
 		os.Exit(2)
 	}
 	f, err := os.Open(*in)

@@ -18,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -25,9 +26,31 @@ import (
 	"floatfl/internal/device"
 	"floatfl/internal/experiment"
 	"floatfl/internal/fl"
+	"floatfl/internal/obs"
 	"floatfl/internal/rl"
 	"floatfl/internal/trace"
 )
+
+// writeTelemetry writes one telemetry artifact to path ("-" = stdout).
+func writeTelemetry(path string, write func(io.Writer) error) {
+	if path == "-" {
+		if err := write(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "floatsim: telemetry:", err)
+		}
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "floatsim: telemetry:", err)
+		return
+	}
+	if err := write(f); err != nil {
+		fmt.Fprintln(os.Stderr, "floatsim: telemetry:", err)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "floatsim: telemetry:", err)
+	}
+}
 
 func main() {
 	var (
@@ -45,6 +68,8 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "client-execution workers per round (0 = all CPU cores; results are identical for any value)")
 		saveAgent  = flag.String("save-agent", "", "write the FLOAT agent's Q-table to this file")
 		logPath    = flag.String("log", "", "write a JSONL training log to this file (analyze with floatreport)")
+		metricsOut = flag.String("metrics-out", "", "write the end-of-run metrics snapshot (text exposition) to this file ('-' = stdout)")
+		traceOut   = flag.String("trace-out", "", "write the JSONL phase trace to this file ('-' = stdout; analyze with floatreport -trace)")
 		seeds      = flag.Int("seeds", 0, "run a seed sweep of this size and report mean±std instead of a single run")
 	)
 	flag.Parse()
@@ -72,6 +97,22 @@ func main() {
 	if *parallel > 0 {
 		sc.Parallelism = *parallel
 	}
+	if *metricsOut != "" {
+		sc.Metrics = obs.NewRegistry()
+	}
+	if *traceOut != "" {
+		sc.Tracer = obs.NewTracer()
+	}
+	// Telemetry outputs are flushed at exit even on the sweep path (the
+	// registry then accumulates across all sweep runs).
+	defer func() {
+		if sc.Metrics != nil {
+			writeTelemetry(*metricsOut, sc.Metrics.WriteText)
+		}
+		if sc.Tracer != nil {
+			writeTelemetry(*traceOut, sc.Tracer.WriteJSONL)
+		}
+	}()
 
 	sn, err := trace.ParseScenario(*scenario)
 	if err != nil {

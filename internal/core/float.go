@@ -20,6 +20,7 @@ import (
 
 	"floatfl/internal/device"
 	"floatfl/internal/fl"
+	"floatfl/internal/obs"
 	"floatfl/internal/opt"
 	"floatfl/internal/rl"
 )
@@ -42,6 +43,10 @@ type Config struct {
 	// per-client convergence. The default collective table is what the
 	// paper deploys for scale.
 	PerClient bool
+	// Metrics instruments the controller's agents (collective or
+	// per-client; idempotent registration makes a fleet share one counter
+	// set). Nil disables.
+	Metrics *obs.Registry
 }
 
 // Float is the FLOAT controller. It implements fl.Controller.
@@ -58,6 +63,8 @@ type Float struct {
 	// action under, so feedback lands on the right Q-table cell even
 	// though the engine's resource snapshot has moved on by then.
 	pending map[int]rl.State
+
+	metrics *obs.Registry
 }
 
 var _ fl.Controller = (*Float)(nil)
@@ -75,11 +82,15 @@ func New(cfg Config) *Float {
 		accScale: cfg.AccRewardScale,
 		agentCfg: cfg.Agent,
 		pending:  make(map[int]rl.State),
+		metrics:  cfg.Metrics,
 	}
 	if cfg.PerClient {
 		f.perClient = make(map[int]*rl.Agent)
 	} else {
 		f.agent = rl.NewAgent(cfg.Agent)
+		if f.metrics != nil {
+			f.agent.Instrument(f.metrics)
+		}
 	}
 	return f
 }
@@ -95,6 +106,9 @@ func (f *Float) agentFor(clientID int) *rl.Agent {
 		cfg := f.agentCfg
 		cfg.Seed = cfg.Seed*31 + int64(clientID) + 1
 		a = rl.NewAgent(cfg)
+		if f.metrics != nil {
+			a.Instrument(f.metrics)
+		}
 		f.perClient[clientID] = a
 	}
 	return a

@@ -1,0 +1,52 @@
+package device
+
+import "floatfl/internal/obs"
+
+// numDropReasons sizes per-reason counter slices; DropDeadline is the
+// last enum value.
+const numDropReasons = int(DropDeadline) + 1
+
+// Observer translates execution Outcomes into registry metrics: total
+// executions, completions, drops by reason, and compute/comm duration
+// distributions. Handles are registered once at construction, so Record
+// is allocation-free; a nil *Observer (or one built from a nil registry)
+// is a no-op.
+type Observer struct {
+	executions  *obs.Counter
+	completions *obs.Counter
+	drops       [numDropReasons]*obs.Counter
+	compute     *obs.Histogram
+	comm        *obs.Histogram
+}
+
+// NewObserver registers the device metrics on reg. A nil reg yields an
+// observer whose handles all no-op.
+func NewObserver(reg *obs.Registry) *Observer {
+	o := &Observer{
+		executions:  reg.Counter("device_executions_total"),
+		completions: reg.Counter("device_completions_total"),
+		compute:     reg.Histogram("device_compute_seconds", []float64{1, 5, 15, 30, 60, 120, 300, 600}),
+		comm:        reg.Histogram("device_comm_seconds", []float64{0.1, 0.5, 1, 5, 15, 30, 60, 120}),
+	}
+	for r := DropNone; r <= DropDeadline; r++ {
+		o.drops[int(r)] = reg.Counter(`device_drops_total{reason="` + r.String() + `"}`)
+	}
+	return o
+}
+
+// Record ingests one execution outcome. Only incomplete outcomes count as
+// drops; cost durations are recorded either way (a deadline-dropped
+// client still burned its compute).
+func (o *Observer) Record(out Outcome) {
+	if o == nil {
+		return
+	}
+	o.executions.Inc()
+	if out.Completed {
+		o.completions.Inc()
+	} else if r := int(out.Reason); r >= 0 && r < numDropReasons {
+		o.drops[r].Inc()
+	}
+	o.compute.Observe(out.Cost.ComputeSeconds)
+	o.comm.Observe(out.Cost.CommSeconds)
+}

@@ -1,0 +1,37 @@
+package device
+
+import (
+	"testing"
+
+	"floatfl/internal/obs"
+)
+
+func TestObserverRecords(t *testing.T) {
+	reg := obs.NewRegistry()
+	o := NewObserver(reg)
+	o.Record(Outcome{Completed: true, Cost: Cost{ComputeSeconds: 10, CommSeconds: 2}})
+	o.Record(Outcome{Completed: false, Reason: DropDeadline, Cost: Cost{ComputeSeconds: 90, CommSeconds: 1}})
+	o.Record(Outcome{Completed: false, Reason: DropUnavailable})
+
+	if got := reg.Counter("device_executions_total").Value(); got != 3 {
+		t.Fatalf("executions = %d, want 3", got)
+	}
+	if got := reg.Counter("device_completions_total").Value(); got != 1 {
+		t.Fatalf("completions = %d, want 1", got)
+	}
+	if got := reg.Counter(`device_drops_total{reason="deadline"}`).Value(); got != 1 {
+		t.Fatalf("deadline drops = %d, want 1", got)
+	}
+	if got := reg.Counter(`device_drops_total{reason="unavailable"}`).Value(); got != 1 {
+		t.Fatalf("unavailable drops = %d, want 1", got)
+	}
+	if got := reg.Histogram("device_compute_seconds", nil).Count(); got != 3 {
+		t.Fatalf("compute samples = %d, want 3", got)
+	}
+}
+
+func TestObserverNilSafe(t *testing.T) {
+	var nilObs *Observer
+	nilObs.Record(Outcome{Completed: true})
+	NewObserver(nil).Record(Outcome{Completed: true}) // nil registry: all handles no-op
+}

@@ -2,16 +2,19 @@ package dist
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"floatfl/internal/data"
+	"floatfl/internal/obs"
 )
 
 // fakeClockSleeper returns a Client.Sleep that waits on the fake clock,
@@ -126,9 +129,13 @@ func runChaos(t *testing.T, numClients, targetRounds int, wallTimeout time.Durat
 			defer wg.Done()
 			tr := &http.Transport{}
 			inj := NewFaultInjector(chaosFaultConfig(int64(1000+i)), tr, clk)
+			// Client retry and fault-injection counters share the server's
+			// registry, so the /v1/metrics scrape below sees the whole run.
+			inj.Instrument(srv.Metrics())
 			injectors[i], transports[i] = inj, tr
 			c := NewClient(hs.URL, fmt.Sprintf("flaky-%d", i),
 				fed.Train[i], fed.LocalTest[i], int64(300+i))
+			c.Instrument(srv.Metrics())
 			sleep := fakeClockSleeper(clk)
 			c.HTTPClient = &http.Client{Transport: inj, Timeout: defaultHTTPTimeout}
 			c.Sleep = sleep
@@ -161,6 +168,9 @@ func runChaos(t *testing.T, numClients, targetRounds int, wallTimeout time.Durat
 	cancel()
 	close(driverDone)
 	driverWG.Wait()
+	// Scrape the live endpoints while the HTTP server is still up:
+	// /v1/status must be a pure projection of the /v1/metrics registry.
+	assertStatusMetricsAgree(t, hs.URL)
 	srv.Close()
 	for _, tr := range transports {
 		if tr != nil {
@@ -191,6 +201,73 @@ func runChaos(t *testing.T, numClients, targetRounds int, wallTimeout time.Durat
 		srv.Round(), srv.HoldoutAccuracy(), injected, srv.LeaseExpiries(), srv.PartialAggregations())
 
 	assertNoGoroutineLeak(t, base)
+}
+
+// assertStatusMetricsAgree scrapes /v1/status and /v1/metrics?format=json
+// from a live server and checks that every counter /v1/status reports
+// matches its registry-backed source of truth. Both handlers read the
+// same obs handles, so any disagreement means a counter is being
+// shadowed by ad-hoc state again.
+func assertStatusMetricsAgree(t *testing.T, baseURL string) {
+	t.Helper()
+	getJSON := func(url string, out interface{}) {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		defer drainClose(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decode: %v", url, err)
+		}
+	}
+	var status StatusResponse
+	getJSON(baseURL+"/v1/status", &status)
+	var snap obs.Snapshot
+	getJSON(baseURL+"/v1/metrics?format=json", &snap)
+
+	counter := func(name string) int {
+		for _, c := range snap.Counters {
+			if c.Name == name {
+				return int(c.Value)
+			}
+		}
+		return 0
+	}
+	for _, check := range []struct {
+		field  string
+		status int
+		metric int
+	}{
+		{"updates_seen", status.UpdatesSeen, counter("dist_updates_total")},
+		{"lease_expiries", status.LeaseExpiries, counter("dist_lease_expiries_total")},
+		{"partial_aggregations", status.PartialAggregations, counter("dist_partial_aggregations_total")},
+	} {
+		if check.status != check.metric {
+			t.Errorf("/v1/status %s=%d disagrees with /v1/metrics %d",
+				check.field, check.status, check.metric)
+		}
+	}
+	statusDrops := 0
+	for _, n := range status.Drops {
+		statusDrops += n
+	}
+	metricDrops := 0
+	for _, c := range snap.Counters {
+		if strings.HasPrefix(c.Name, `dist_drops_total{`) {
+			metricDrops += int(c.Value)
+		}
+	}
+	if statusDrops != metricDrops {
+		t.Errorf("/v1/status drops sum %d disagrees with /v1/metrics dist_drops_total sum %d",
+			statusDrops, metricDrops)
+	}
+	if counter("dist_rounds_total") != status.Round {
+		t.Errorf("/v1/status round=%d disagrees with dist_rounds_total=%d",
+			status.Round, counter("dist_rounds_total"))
+	}
 }
 
 // TestChaosFlakyClientsConverge: N concurrent clients behind seeded fault

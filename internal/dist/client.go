@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"floatfl/internal/nn"
+	"floatfl/internal/obs"
 	"floatfl/internal/opt"
 	"floatfl/internal/tensor"
 )
@@ -84,6 +85,13 @@ type Client struct {
 	retryRNG *rand.Rand
 	// lastDeadlineDiff carries human feedback into the next report.
 	lastDeadlineDiff float64
+
+	// Retry telemetry (nil until Instrument): retryable failures by
+	// cause, plus requests that exhausted every attempt.
+	obsRetryTransport *obs.Counter
+	obsRetry5xx       *obs.Counter
+	obsRetryDecode    *obs.Counter
+	obsRetryExhausted *obs.Counter
 }
 
 // NewClient constructs a client runtime against a server base URL.
@@ -264,6 +272,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, resp 
 		}
 		lastErr = err
 	}
+	c.obsRetryExhausted.Inc()
 	return 0, fmt.Errorf("dist: %s %s failed after %d attempts: %w",
 		method, path, policy.MaxAttempts, lastErr)
 }
@@ -282,6 +291,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	}
 	httpResp, err := c.HTTPClient.Do(req)
 	if err != nil {
+		c.obsRetryTransport.Inc()
 		return 0, true, err // transport failure: retryable
 	}
 	defer drainClose(httpResp.Body)
@@ -291,6 +301,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 			if err := json.NewDecoder(httpResp.Body).Decode(resp); err != nil {
 				// A truncated or garbled body on a 200 is a transport
 				// failure in disguise.
+				c.obsRetryDecode.Inc()
 				return httpResp.StatusCode, true,
 					fmt.Errorf("dist: %s response decode: %w", path, err)
 			}
@@ -300,6 +311,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		return httpResp.StatusCode, false, nil
 	case httpResp.StatusCode >= 500:
 		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 512))
+		c.obsRetry5xx.Inc()
 		return httpResp.StatusCode, true, fmt.Errorf("dist: %s returned %d: %s",
 			path, httpResp.StatusCode, bytes.TrimSpace(msg))
 	default:

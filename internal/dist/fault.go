@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"floatfl/internal/obs"
 )
 
 // Sentinel errors the FaultInjector returns, so tests can distinguish a
@@ -92,6 +94,10 @@ type FaultInjector struct {
 	rng     *rand.Rand
 	stats   FaultStats
 	history []string
+
+	// Per-kind injection counters (nil until Instrument; see dist/obs.go).
+	obsKinds  [int(faultTruncate) + 1]*obs.Counter
+	obsDelays *obs.Counter
 }
 
 // NewFaultInjector wraps next (nil: http.DefaultTransport) with the fault
@@ -151,7 +157,9 @@ func (f *FaultInjector) plan() (faultKind, bool) {
 	if delayed {
 		entry += "+delay"
 		f.stats.Delayed++
+		f.obsDelays.Inc()
 	}
+	f.obsKinds[int(kind)].Inc()
 	f.history = append(f.history, entry)
 	switch kind {
 	case faultDropRequest:

@@ -26,6 +26,8 @@ func (s *Server) grantLeaseLocked(id int, ci *clientInfo) {
 	d := secondsToDuration(s.cfg.LeaseSeconds)
 	ci.leaseExpiry = s.clock.Now().Add(d)
 	ci.leaseTimer = s.clock.AfterFunc(d, func() { s.leaseExpired(id, seq, round) })
+	s.obs.leaseGrants.Inc()
+	s.eventLocked("lease_grant", round, id, "")
 }
 
 // stopLeaseLocked invalidates any pending lease timer for ci. Bumping
@@ -54,8 +56,10 @@ func (s *Server) leaseExpired(id int, seq uint64, round int) {
 	ci.leaseTimer = nil
 	ci.leaseSeq++
 	s.outstanding--
-	s.leaseExpiries++
-	s.drops[device.DropDeadline]++
+	s.obs.leaseExpiries.Inc()
+	s.obs.drops[int(device.DropDeadline)].Inc()
+	s.eventLocked("lease_expiry", round, id, "")
+	s.syncGaugesLocked()
 	// A silent death is indistinguishable from a deadline miss; feed it to
 	// the controller exactly as the simulator's cost model would.
 	s.cfg.Controller.Feedback(round, ci.dev, ci.tech,
@@ -90,8 +94,10 @@ func (s *Server) roundTimerFired(seq uint64, round int) {
 	if seq != s.roundSeq || round != s.round {
 		return
 	}
+	s.obs.timerFires.Inc()
+	s.eventLocked("round_timer", round, -1, "")
 	if len(s.deltas) >= s.minUpdates() {
-		s.partialAggs++
+		s.obs.partialAggs.Inc()
 		_ = s.aggregateLocked()
 		return
 	}

@@ -1,0 +1,112 @@
+package dist
+
+import (
+	"floatfl/internal/device"
+	"floatfl/internal/obs"
+)
+
+// numDropReasons sizes per-reason counter arrays (device.DropDeadline is
+// the last enum value).
+const numDropReasons = int(device.DropDeadline) + 1
+
+// serverObs holds the aggregator's registry-backed counters and gauges.
+// These ARE the server's operational state counters — /v1/status reads
+// them back out, so /v1/status and /v1/metrics agree by construction
+// (satellite of ISSUE 5: no more ad-hoc int fields shadowing the
+// registry). The server always constructs a registry (private if the
+// config supplies none) because status reporting needs live handles.
+type serverObs struct {
+	tracer *obs.Tracer
+
+	updates       *obs.Counter
+	leaseGrants   *obs.Counter
+	leaseExpiries *obs.Counter
+	partialAggs   *obs.Counter
+	rounds        *obs.Counter
+	registrations *obs.Counter
+	timerFires    *obs.Counter
+	drops         [numDropReasons]*obs.Counter
+
+	round       *obs.Gauge
+	outstanding *obs.Gauge
+	buffered    *obs.Gauge
+	registered  *obs.Gauge
+	holdoutAcc  *obs.Gauge
+}
+
+func newServerObs(reg *obs.Registry, tracer *obs.Tracer) *serverObs {
+	so := &serverObs{
+		tracer:        tracer,
+		updates:       reg.Counter("dist_updates_total"),
+		leaseGrants:   reg.Counter("dist_lease_grants_total"),
+		leaseExpiries: reg.Counter("dist_lease_expiries_total"),
+		partialAggs:   reg.Counter("dist_partial_aggregations_total"),
+		rounds:        reg.Counter("dist_rounds_total"),
+		registrations: reg.Counter("dist_registrations_total"),
+		timerFires:    reg.Counter("dist_round_timer_fires_total"),
+		round:         reg.Gauge("dist_round"),
+		outstanding:   reg.Gauge("dist_outstanding"),
+		buffered:      reg.Gauge("dist_buffered_updates"),
+		registered:    reg.Gauge("dist_registered_clients"),
+		holdoutAcc:    reg.Gauge("dist_holdout_acc"),
+	}
+	for r := device.DropNone; r <= device.DropDeadline; r++ {
+		so.drops[int(r)] = reg.Counter(`dist_drops_total{reason="` + r.String() + `"}`)
+	}
+	return so
+}
+
+// dropReasonCount reads one per-reason drop counter.
+func (so *serverObs) dropReasonCount(r device.DropReason) int {
+	if i := int(r); i >= 0 && i < numDropReasons {
+		return int(so.drops[i].Value())
+	}
+	return 0
+}
+
+// eventLocked emits one server trace span, timestamped in seconds since
+// server start on the injected clock (never wall time directly). Caller
+// holds s.mu, which makes emission order deterministic for a fixed fault
+// and clock schedule.
+func (s *Server) eventLocked(kind string, round, client int, note string) {
+	if s.obs.tracer == nil {
+		return
+	}
+	s.obs.tracer.Emit(obs.Span{
+		T:      s.clock.Now().Sub(s.start).Seconds(),
+		Kind:   kind,
+		Round:  round,
+		Client: client,
+		Note:   note,
+	})
+}
+
+// syncGaugesLocked refreshes the live-state gauges after any mutation of
+// round/outstanding/buffer/client-set. Caller holds s.mu.
+func (s *Server) syncGaugesLocked() {
+	s.obs.round.Set(float64(s.round))
+	s.obs.outstanding.Set(float64(s.outstanding))
+	s.obs.buffered.Set(float64(len(s.deltas)))
+	s.obs.registered.Set(float64(len(s.clients)))
+}
+
+// Instrument registers the client runtime's retry counters on reg,
+// shared across clients when they share a registry. Must be called
+// before the client starts issuing requests.
+func (c *Client) Instrument(reg *obs.Registry) {
+	c.obsRetryTransport = reg.Counter(`dist_client_retries_total{cause="transport"}`)
+	c.obsRetry5xx = reg.Counter(`dist_client_retries_total{cause="status5xx"}`)
+	c.obsRetryDecode = reg.Counter(`dist_client_retries_total{cause="decode"}`)
+	c.obsRetryExhausted = reg.Counter("dist_client_retries_exhausted_total")
+}
+
+// Instrument registers per-kind fault counters on reg. Must be called
+// before the injector serves traffic.
+func (f *FaultInjector) Instrument(reg *obs.Registry) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for k := faultNone; k <= faultTruncate; k++ {
+		f.obsKinds[int(k)] = reg.Counter(`dist_fault_injections_total{kind="` + faultKindNames[k] + `"}`)
+	}
+	f.obsDelays = reg.Counter("dist_fault_delays_total")
+}

@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
 	"floatfl/internal/device"
 	"floatfl/internal/fl"
 	"floatfl/internal/nn"
+	"floatfl/internal/obs"
 	"floatfl/internal/opt"
 	"floatfl/internal/tensor"
 	"floatfl/internal/trace"
@@ -47,6 +49,14 @@ type ServerConfig struct {
 	// Tests inject a FakeClock so expiry is deterministic.
 	Clock Clock
 	Seed  int64
+	// Metrics backs the server's operational counters and the /v1/metrics
+	// endpoint. Nil gets a private registry — the counters must exist
+	// regardless because /v1/status reads them.
+	Metrics *obs.Registry
+	// Tracer records server-side events (register, lease_grant,
+	// lease_expiry, update, round_timer, aggregate) timestamped against
+	// Clock; nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 // Server is the HTTP aggregator. All state is guarded by mu; handlers and
@@ -75,11 +85,13 @@ type Server struct {
 	roundTimer Timer
 	roundSeq   uint64
 
-	updatesSeen   int
-	leaseExpiries int
-	partialAggs   int
-	drops         map[device.DropReason]int
-	holdoutAcc    float64
+	// obs owns every operational counter (updates, lease expiries,
+	// partial aggregations, drops); /v1/status reads them back so status
+	// and /v1/metrics can never disagree. start anchors trace timestamps.
+	obs        *serverObs
+	metrics    *obs.Registry
+	start      time.Time
+	holdoutAcc float64
 }
 
 type clientInfo struct {
@@ -138,6 +150,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = RealClock()
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
 	rng := newRand(cfg.Seed)
 	global, err := nn.NewModel(cfg.Spec.Arch, cfg.Spec.InDim, cfg.Spec.Classes, rng)
 	if err != nil {
@@ -149,10 +164,13 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		global:  global,
 		clients: make(map[int]*clientInfo),
 		byName:  make(map[string]int),
-		drops:   make(map[device.DropReason]int),
+		obs:     newServerObs(cfg.Metrics, cfg.Tracer),
+		metrics: cfg.Metrics,
+		start:   cfg.Clock.Now(),
 	}
 	s.mu.Lock()
 	s.armRoundTimerLocked()
+	s.syncGaugesLocked()
 	s.mu.Unlock()
 	return s, nil
 }
@@ -164,6 +182,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/task", s.handleTask)
 	mux.HandleFunc("/v1/update", s.handleUpdate)
 	mux.HandleFunc("/v1/status", s.handleStatus)
+	mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	return mux
 }
 
@@ -185,6 +204,8 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	id := s.nextClientID
 	s.nextClientID++
+	s.obs.registrations.Inc()
+	s.eventLocked("register", s.round, id, req.Name)
 	s.clients[id] = &clientInfo{
 		name: req.Name,
 		dev: &device.Client{
@@ -200,6 +221,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if req.Name != "" {
 		s.byName[req.Name] = id
 	}
+	s.syncGaugesLocked()
 	spec := s.cfg.Spec
 	s.mu.Unlock()
 	writeJSON(w, RegisterResponse{ClientID: id, Spec: spec})
@@ -232,6 +254,7 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 		s.outstanding++
 		s.grantLeaseLocked(req.ClientID, ci)
 	}
+	s.syncGaugesLocked()
 	blob, err := s.global.MarshalBinary()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -284,7 +307,8 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	ci.taskRound = -1
 	s.stopLeaseLocked(ci)
 	s.outstanding--
-	s.updatesSeen++
+	s.obs.updates.Inc()
+	s.eventLocked("update", s.round, req.ClientID, "")
 	weight := float64(req.Samples)
 	if weight <= 0 {
 		weight = 1
@@ -304,6 +328,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	s.syncGaugesLocked()
 	w.WriteHeader(http.StatusOK)
 }
 
@@ -327,31 +352,49 @@ func (s *Server) aggregateLocked() error {
 	}
 	s.deltas = s.deltas[:0]
 	s.weights = s.weights[:0]
+	s.eventLocked("aggregate", s.round, -1, "")
+	s.obs.rounds.Inc()
 	s.round++
 	s.outstanding = 0
-	for _, ci := range s.clients {
+	// Sweep stale task holders in client-ID order: trace emission and
+	// controller feedback are order-sensitive, so map iteration order must
+	// not reach them.
+	stale := make([]int, 0, len(s.clients))
+	for id, ci := range s.clients {
 		if ci.taskRound >= 0 && ci.taskRound < s.round {
-			// The round moved on without this client: count it as a
-			// deadline miss so FLOAT learns from it.
-			s.drops[device.DropDeadline]++
-			s.cfg.Controller.Feedback(ci.taskRound, ci.dev, ci.tech,
-				device.Outcome{Completed: false, Reason: device.DropDeadline, DeadlineDiff: 0.5}, 0)
-			ci.taskRound = -1
-			s.stopLeaseLocked(ci)
+			stale = append(stale, id)
 		}
+	}
+	sort.Ints(stale)
+	for _, id := range stale {
+		ci := s.clients[id]
+		// The round moved on without this client: count it as a deadline
+		// miss so FLOAT learns from it.
+		s.obs.drops[int(device.DropDeadline)].Inc()
+		s.eventLocked("drop", ci.taskRound, id, device.DropDeadline.String())
+		s.cfg.Controller.Feedback(ci.taskRound, ci.dev, ci.tech,
+			device.Outcome{Completed: false, Reason: device.DropDeadline, DeadlineDiff: 0.5}, 0)
+		ci.taskRound = -1
+		s.stopLeaseLocked(ci)
 	}
 	s.armRoundTimerLocked()
 	if len(s.cfg.Holdout) > 0 {
 		s.holdoutAcc, _ = s.global.Evaluate(s.cfg.Holdout)
+		s.obs.holdoutAcc.Set(s.holdoutAcc)
 	}
+	s.syncGaugesLocked()
 	return nil
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	drops := make(map[string]int, len(s.drops))
-	for reason, n := range s.drops {
-		drops[reason.String()] = n
+	// Counters come straight off the metrics registry: /v1/status is a
+	// projection of /v1/metrics, so the two can never drift apart.
+	drops := make(map[string]int, numDropReasons)
+	for reason := device.DropNone; reason <= device.DropDeadline; reason++ {
+		if n := s.obs.dropReasonCount(reason); n > 0 {
+			drops[reason.String()] = n
+		}
 	}
 	activeLeases := 0
 	for _, ci := range s.clients {
@@ -363,16 +406,32 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Round:               s.round,
 		Registered:          len(s.clients),
 		HoldoutAcc:          s.holdoutAcc,
-		UpdatesSeen:         s.updatesSeen,
+		UpdatesSeen:         int(s.obs.updates.Value()),
 		Outstanding:         s.outstanding,
 		BufferedUpdates:     len(s.deltas),
 		ActiveLeases:        activeLeases,
-		LeaseExpiries:       s.leaseExpiries,
-		PartialAggregations: s.partialAggs,
+		LeaseExpiries:       int(s.obs.leaseExpiries.Value()),
+		PartialAggregations: int(s.obs.partialAggs.Value()),
 		Drops:               drops,
 	}
 	s.mu.Unlock()
 	writeJSON(w, resp)
+}
+
+// handleMetrics serves the registry exposition: text by default, the
+// JSON snapshot with ?format=json.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "dist: GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	snap := s.metrics.Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, snap)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = snap.WriteText(w)
 }
 
 // Round returns the current aggregation round.
@@ -392,18 +451,18 @@ func (s *Server) HoldoutAccuracy() float64 {
 // LeaseExpiries returns how many handed-out tasks died silently and were
 // reclaimed by lease expiry.
 func (s *Server) LeaseExpiries() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.leaseExpiries
+	return int(s.obs.leaseExpiries.Value())
 }
 
 // PartialAggregations returns how many rounds were advanced by the round
 // timer with fewer than AggregateK updates.
 func (s *Server) PartialAggregations() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.partialAggs
+	return int(s.obs.partialAggs.Value())
 }
+
+// Metrics exposes the server's registry (the same one /v1/metrics
+// serves), for embedding CLIs and tests.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
 
 func decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
 	if r.Method != http.MethodPost {

@@ -16,6 +16,7 @@ import (
 	"floatfl/internal/core"
 	"floatfl/internal/data"
 	"floatfl/internal/fl"
+	"floatfl/internal/obs"
 	"floatfl/internal/opt"
 	"floatfl/internal/rl"
 	"floatfl/internal/selection"
@@ -37,6 +38,11 @@ type Scale struct {
 	// fl.Config.Parallelism. Results are bit-identical for every value;
 	// <= 0 defaults to runtime.NumCPU().
 	Parallelism int
+	// Metrics and Tracer, when non-nil, receive the engine's telemetry
+	// (fl.Config.Metrics / fl.Config.Tracer); nil keeps runs
+	// instrumentation-free with zero overhead.
+	Metrics *obs.Registry
+	Tracer  *obs.Tracer
 }
 
 // Quick is a CI-sized scale that preserves the figures' shapes.
@@ -169,6 +175,7 @@ func controllerFor(sc Scale, spec RunSpec, seed int64) fl.Controller {
 			Epochs:          sc.Epochs,
 			ClientsPerRound: sc.PerRound,
 			PerClient:       spec.FloatPerClient,
+			Metrics:         sc.Metrics,
 		})
 	case spec.Heur:
 		return core.NewHeuristic(seed + 3)

@@ -306,6 +306,8 @@ func runWith(sc Scale, spec RunSpec, ctrl fl.Controller) (*fl.Result, error) {
 		BufferK:            sc.AsyncBuffer,
 		Parallelism:        sc.Parallelism,
 		Logger:             spec.Logger,
+		Metrics:            sc.Metrics,
+		Tracer:             sc.Tracer,
 	}
 	if spec.Algo == "fedprox" {
 		cfg.ProxMu = 0.01

@@ -10,6 +10,7 @@ import (
 	"floatfl/internal/device"
 	"floatfl/internal/metrics"
 	"floatfl/internal/nn"
+	"floatfl/internal/obs"
 	"floatfl/internal/opt"
 	"floatfl/internal/tensor"
 )
@@ -137,6 +138,7 @@ func RunAsync(fed *data.Federation, pop []*device.Client, ctrl Controller, cfg C
 		DeadlineSec: timeout,
 	}
 	hfDiff := make([]float64, len(pop))
+	eo := newEngineObs(cfg.Metrics, cfg.Tracer)
 
 	// Version-indexed snapshots of global parameters for stale training.
 	// Snapshot vectors are immutable once stored: pending training jobs
@@ -166,6 +168,8 @@ func RunAsync(fed *data.Federation, pop []*device.Client, ctrl Controller, cfg C
 			step := stepOf(now)
 			snap := c.ResourcesAt(step)
 			tech := ctrl.Decide(version, c, snap, hfDiff[id])
+			eo.decide(tech)
+			eo.selected.Inc()
 			work := workSpecFor(spec, len(fed.Train[id]), cfg.Epochs)
 			out, err := device.Execute(c, step, work, tech, timeout)
 			if err != nil {
@@ -214,12 +218,21 @@ func RunAsync(fed *data.Federation, pop []*device.Client, ctrl Controller, cfg C
 		startParams, haveVersion := versions[task.startVersion]
 		staleness := version - task.startVersion
 		tooStale := isTooStale(staleness, cfg.StalenessCap, haveVersion)
+		eo.dev.Record(out)
+		eo.clientSpans(task.finishAt-out.Cost.TotalSeconds, task.startVersion, task.clientID, task.tech, out)
 		if out.Completed && tooStale {
 			// The update arrived but its base version is ancient: FedBuff
 			// discards it, so every resource it consumed is waste.
 			res.Ledger.RecordDiscarded(task.clientID, task.tech, out)
+			eo.discarded.Inc()
+			eo.span(obs.Span{T: task.finishAt, Kind: "discard", Round: task.startVersion, Client: task.clientID, Note: "stale"})
 		} else {
 			res.Ledger.Record(task.clientID, task.tech, out)
+			if out.Completed {
+				eo.completed.Inc()
+			} else {
+				eo.dropped.Inc()
+			}
 		}
 		trainIdx := -1
 		if out.Completed && !tooStale {
@@ -249,8 +262,10 @@ func RunAsync(fed *data.Federation, pop []*device.Client, ctrl Controller, cfg C
 		// collect in pop order on this goroutine.
 		jobs := pendingJobs
 		pool.ensure(cfg.Parallelism, len(jobs))
+		eo.fanoutJobs.Observe(float64(len(jobs)))
 		forEachSlot(len(jobs), cfg.Parallelism, func(worker, slot int) {
 			j := &jobs[slot]
+			eo.trainCalls.Inc()
 			j.lt, j.err = trainLocal(pool.ctx(worker), pool.delta(slot), global,
 				j.startParams, fed.Train[j.clientID],
 				fed.LocalTest[j.clientID], j.tech, cfg, j.round, j.clientID)
@@ -282,6 +297,8 @@ func RunAsync(fed *data.Federation, pop []*device.Client, ctrl Controller, cfg C
 		if err := applyAggregate(global, bufDeltas, bufWeights); err != nil {
 			return nil, err
 		}
+		eo.span(obs.Span{T: now, Kind: "aggregate", Round: version, Client: -1})
+		eo.rounds.Inc()
 		version++
 		versions[version] = global.Parameters().Clone()
 		evictStaleVersion(versions, version, cfg.StalenessCap)
@@ -292,6 +309,8 @@ func RunAsync(fed *data.Federation, pop []*device.Client, ctrl Controller, cfg C
 			res.GlobalAccHistory = append(res.GlobalAccHistory, acc)
 			res.EvalRounds = append(res.EvalRounds, aggregations)
 			evalCountdown = cfg.EvalEvery
+			eo.evals.Inc()
+			eo.globalAcc.Set(acc)
 		}
 	}
 
@@ -301,6 +320,8 @@ func RunAsync(fed *data.Federation, pop []*device.Client, ctrl Controller, cfg C
 	for tasks.Len() > 0 {
 		task := heap.Pop(&tasks).(asyncTask)
 		res.Ledger.RecordDiscarded(task.clientID, task.tech, task.outcome)
+		eo.discarded.Inc()
+		eo.span(obs.Span{T: task.finishAt, Kind: "discard", Round: version, Client: task.clientID, Note: "overrun"})
 	}
 
 	res.WallClockSeconds = now

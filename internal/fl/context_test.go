@@ -6,6 +6,7 @@ import (
 
 	"floatfl/internal/data"
 	"floatfl/internal/nn"
+	"floatfl/internal/obs"
 	"floatfl/internal/opt"
 	"floatfl/internal/trace"
 )
@@ -14,6 +15,9 @@ import (
 // trainContext. The flat-parameter refactor's contract is that this path
 // allocates nothing: the context owns the local model and scratch, the slot
 // owns the delta buffer, and nn.Train reuses its RNG/order/gradient state.
+// The telemetry ops the engines issue per client round (counter increment,
+// histogram observe) run inside the loop too, proving the instrumented hot
+// path stays allocation-free.
 func BenchmarkTrainLocal(b *testing.B) {
 	fed, err := data.Generate("femnist", data.GenerateConfig{Clients: 8, Alpha: 0.1, Seed: 11})
 	if err != nil {
@@ -38,13 +42,19 @@ func BenchmarkTrainLocal(b *testing.B) {
 		b.Fatal(err)
 	}
 
+	reg := obs.NewRegistry()
+	trainCalls := reg.Counter("fl_train_calls_total")
+	computeHist := reg.Histogram("device_compute_seconds", []float64{1, 5, 15, 30, 60})
+
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		trainCalls.Inc()
 		if _, err := trainLocal(pool.ctx(0), pool.delta(0), proto, before,
 			fed.Train[0], fed.LocalTest[0], opt.TechNone, cfg, 1, 0); err != nil {
 			b.Fatal(err)
 		}
+		computeHist.Observe(12.5)
 	}
 }
 

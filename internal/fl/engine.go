@@ -16,6 +16,7 @@ import (
 	"floatfl/internal/device"
 	"floatfl/internal/metrics"
 	"floatfl/internal/nn"
+	"floatfl/internal/obs"
 	"floatfl/internal/opt"
 	"floatfl/internal/tensor"
 )
@@ -108,6 +109,14 @@ type Config struct {
 	// Logger receives structured per-client-round and per-round events
 	// (nil discards them).
 	Logger RoundLogger
+
+	// Metrics receives engine counters/gauges/histograms (nil disables
+	// metric collection at zero cost beyond a nil check per event).
+	Metrics *obs.Registry
+	// Tracer receives the per-round phase spans — select/decide/train/
+	// comm/drop/aggregate — timestamped in virtual simulation seconds
+	// (nil disables tracing).
+	Tracer *obs.Tracer
 
 	// ProxMu enables FedProx's proximal term during local training
 	// (0 = plain FedAvg local SGD).

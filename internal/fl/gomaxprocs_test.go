@@ -6,16 +6,19 @@ import (
 	"runtime"
 	"testing"
 
+	"floatfl/internal/obs"
 	"floatfl/internal/selection"
 	"floatfl/internal/trace"
 )
 
 // runSyncUnderProcs runs a complete sync-engine experiment with the JSONL
-// metrics logger attached while GOMAXPROCS is pinned to procs, restoring
-// the previous value before returning. The parallel worker pool is kept at
-// 8 so the runtime scheduler — not the engine's slot assignment — is the
-// only thing that changes between calls.
-func runSyncUnderProcs(t *testing.T, procs int) (*Result, string) {
+// metrics logger, the obs registry, and the phase tracer attached while
+// GOMAXPROCS is pinned to procs, restoring the previous value before
+// returning. The parallel worker pool is kept at 8 so the runtime
+// scheduler — not the engine's slot assignment — is the only thing that
+// changes between calls. Returns the result, the JSONL log, the metrics
+// text exposition, and the trace JSONL.
+func runSyncUnderProcs(t *testing.T, procs int) (*Result, string, string, string) {
 	t.Helper()
 	prev := runtime.GOMAXPROCS(procs)
 	defer runtime.GOMAXPROCS(prev)
@@ -25,6 +28,8 @@ func runSyncUnderProcs(t *testing.T, procs int) (*Result, string) {
 	logger := NewJSONLLogger(&buf)
 	cfg := parSyncConfig(8)
 	cfg.Logger = logger
+	cfg.Metrics = obs.NewRegistry()
+	cfg.Tracer = obs.NewTracer()
 	res, err := RunSync(fed, pop, selection.NewRandom(7), newFeedbackDriven(), cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -32,7 +37,8 @@ func runSyncUnderProcs(t *testing.T, procs int) (*Result, string) {
 	if err := logger.Err(); err != nil {
 		t.Fatal(err)
 	}
-	return res, buf.String()
+	metricsText, traceJSONL := exportTelemetry(t, cfg.Metrics, cfg.Tracer)
+	return res, buf.String(), metricsText, traceJSONL
 }
 
 // TestRunSyncGOMAXPROCSInvariant is the determinism regression test the
@@ -41,8 +47,8 @@ func runSyncUnderProcs(t *testing.T, procs int) (*Result, string) {
 // byte-identical JSONL metrics log. Any wall-clock read, global-rand draw,
 // or map-order dependence on the training path shows up here as a diff.
 func TestRunSyncGOMAXPROCSInvariant(t *testing.T) {
-	resOne, logOne := runSyncUnderProcs(t, 1)
-	resMany, logMany := runSyncUnderProcs(t, 8)
+	resOne, logOne, metOne, trOne := runSyncUnderProcs(t, 1)
+	resMany, logMany, metMany, trMany := runSyncUnderProcs(t, 8)
 
 	assertIdenticalResults(t, "sync procs1-vs-procs8", resOne, resMany)
 
@@ -66,5 +72,16 @@ func TestRunSyncGOMAXPROCSInvariant(t *testing.T) {
 	}
 	if logOne == "" {
 		t.Error("JSONL metrics log is empty; the logger was not exercised")
+	}
+	if metOne != metMany {
+		t.Errorf("metrics exposition differs between GOMAXPROCS=1 and GOMAXPROCS=8:\n--- 1 ---\n%s--- 8 ---\n%s",
+			metOne, metMany)
+	}
+	if trOne != trMany {
+		t.Errorf("trace JSONL differs between GOMAXPROCS=1 and GOMAXPROCS=8 (%d vs %d bytes)",
+			len(trOne), len(trMany))
+	}
+	if metOne == "" || trOne == "" {
+		t.Error("telemetry outputs are empty; registry/tracer were not exercised")
 	}
 }

@@ -29,19 +29,25 @@ type ClientRoundLog struct {
 	CommSeconds    float64 `json:"comm_s"`
 	UploadBytes    float64 `json:"upload_bytes"`
 	DownloadBytes  float64 `json:"download_bytes"`
-	MemoryBytes    float64 `json:"memory_bytes"`
-	DeadlineDiff   float64 `json:"deadline_diff,omitempty"`
-	AccImprove     float64 `json:"acc_improve"`
+	MemoryBytes float64 `json:"memory_bytes"`
+	// DeadlineDiff is always emitted: a zero is a legitimate value (the
+	// client finished exactly on the deadline), not an absent one, so it
+	// must not be dropped by omitempty.
+	DeadlineDiff float64 `json:"deadline_diff"`
+	AccImprove   float64 `json:"acc_improve"`
 }
 
-// RoundSummaryLog is one per-round aggregate record.
+// RoundSummaryLog is one per-round aggregate record. GlobalAcc is a
+// pointer because absence ("no eval this round") and a measured accuracy
+// of exactly zero are different facts; a plain float64 with omitempty
+// silently conflated them.
 type RoundSummaryLog struct {
-	Round       int     `json:"round"`
-	Selected    int     `json:"selected"`
-	Completed   int     `json:"completed"`
-	Dropped     int     `json:"dropped"`
-	WallSeconds float64 `json:"wall_s"`
-	GlobalAcc   float64 `json:"global_acc,omitempty"`
+	Round       int      `json:"round"`
+	Selected    int      `json:"selected"`
+	Completed   int      `json:"completed"`
+	Dropped     int      `json:"dropped"`
+	WallSeconds float64  `json:"wall_s"`
+	GlobalAcc   *float64 `json:"global_acc,omitempty"`
 }
 
 // RoundLogger receives structured training events. Implementations must

@@ -40,6 +40,59 @@ func TestJSONLLoggerRecords(t *testing.T) {
 	}
 }
 
+// TestLogZeroValuesSurvive is the regression test for the omitempty bug:
+// a measured global accuracy of exactly zero and a deadline diff of
+// exactly zero are legitimate values and must appear in the JSON, while
+// an eval-free round must still omit global_acc entirely.
+func TestLogZeroValuesSurvive(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewJSONLLogger(&buf)
+	zero := 0.0
+	l.LogRoundSummary(RoundSummaryLog{Round: 1, Selected: 4, GlobalAcc: &zero})
+	l.LogRoundSummary(RoundSummaryLog{Round: 2, Selected: 4}) // no eval this round
+	l.LogClientRound(ClientRoundLog{Round: 1, ClientID: 0, Completed: true, DeadlineDiff: 0})
+	if l.Err() != nil {
+		t.Fatal(l.Err())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected 3 JSONL lines, got %d", len(lines))
+	}
+	if !strings.Contains(lines[0], `"global_acc":0`) {
+		t.Errorf("zero global accuracy dropped from the record: %s", lines[0])
+	}
+	if strings.Contains(lines[1], "global_acc") {
+		t.Errorf("eval-free round must omit global_acc: %s", lines[1])
+	}
+	if !strings.Contains(lines[2], `"deadline_diff":0`) {
+		t.Errorf("zero deadline diff dropped from the record: %s", lines[2])
+	}
+
+	// Decoding round-trips the distinction: present-and-zero vs absent.
+	var withEval, withoutEval RoundSummaryLog
+	var env struct {
+		Data json.RawMessage `json:"data"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &env); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(env.Data, &withEval); err != nil {
+		t.Fatal(err)
+	}
+	if withEval.GlobalAcc == nil || *withEval.GlobalAcc != 0 {
+		t.Errorf("decoded GlobalAcc = %v, want pointer to 0", withEval.GlobalAcc)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &env); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(env.Data, &withoutEval); err != nil {
+		t.Fatal(err)
+	}
+	if withoutEval.GlobalAcc != nil {
+		t.Errorf("decoded GlobalAcc = %v for eval-free round, want nil", *withoutEval.GlobalAcc)
+	}
+}
+
 type failingWriter struct{ n int }
 
 func (f *failingWriter) Write(p []byte) (int, error) {

@@ -1,0 +1,89 @@
+package fl
+
+import (
+	"floatfl/internal/device"
+	"floatfl/internal/obs"
+	"floatfl/internal/opt"
+)
+
+// engineObs bundles every telemetry handle the engines touch, registered
+// once per run before the first round. All handles are nil-safe, so an
+// uninstrumented run (Config.Metrics and Config.Tracer both nil) pays one
+// branch per event and allocates nothing on the hot path.
+//
+// Determinism rules for everything recorded here:
+//   - counters and histograms are commutative atomics, safe to update
+//     from fan-out workers (trainCalls is the only one that is);
+//   - gauges and spans are written only from the engines'
+//     single-threaded dispatch/collect passes, in dispatch order;
+//   - no recorded quantity may depend on Parallelism or GOMAXPROCS —
+//     fanoutJobs records jobs per fan-out (work offered), never busy
+//     workers, for exactly that reason.
+type engineObs struct {
+	tracer *obs.Tracer
+
+	rounds     *obs.Counter
+	selected   *obs.Counter
+	completed  *obs.Counter
+	dropped    *obs.Counter
+	discarded  *obs.Counter
+	trainCalls *obs.Counter
+	evals      *obs.Counter
+
+	globalAcc *obs.Gauge
+
+	roundWall  *obs.Histogram
+	fanoutJobs *obs.Histogram
+
+	// decide outcomes per technique, indexed by int(opt.Technique).
+	techCounts [opt.NumTechniques]*obs.Counter
+
+	dev *device.Observer
+}
+
+func newEngineObs(reg *obs.Registry, tracer *obs.Tracer) *engineObs {
+	eo := &engineObs{
+		tracer:     tracer,
+		rounds:     reg.Counter("fl_rounds_total"),
+		selected:   reg.Counter("fl_clients_selected_total"),
+		completed:  reg.Counter("fl_clients_completed_total"),
+		dropped:    reg.Counter("fl_clients_dropped_total"),
+		discarded:  reg.Counter("fl_updates_discarded_total"),
+		trainCalls: reg.Counter("fl_train_calls_total"),
+		evals:      reg.Counter("fl_evals_total"),
+		globalAcc:  reg.Gauge("fl_global_acc"),
+		roundWall:  reg.Histogram("fl_round_wall_seconds", []float64{5, 15, 30, 60, 120, 300, 600, 1200}),
+		fanoutJobs: reg.Histogram("fl_fanout_jobs", []float64{1, 2, 4, 8, 16, 32, 64, 128}),
+		dev:        device.NewObserver(reg),
+	}
+	for _, tech := range opt.All() {
+		eo.techCounts[int(tech)] = reg.Counter(`fl_decide_total{tech="` + tech.String() + `"}`)
+	}
+	return eo
+}
+
+// decide records one controller decision.
+func (eo *engineObs) decide(tech opt.Technique) {
+	if i := int(tech); i >= 0 && i < len(eo.techCounts) {
+		eo.techCounts[i].Inc()
+	}
+}
+
+// span emits one trace span; a plain forwarding helper so engine code
+// reads as eo.span(...) next to the counter calls.
+func (eo *engineObs) span(s obs.Span) { eo.tracer.Emit(s) }
+
+// clientSpans emits the train+comm (or drop) spans for one executed
+// client, anchored at the virtual time the client started. Must be called
+// from a single-threaded collect pass.
+func (eo *engineObs) clientSpans(start float64, round, clientID int, tech opt.Technique, out device.Outcome) {
+	if eo.tracer == nil {
+		return
+	}
+	if out.Completed {
+		eo.span(obs.Span{T: start, Dur: out.Cost.ComputeSeconds, Kind: "train", Round: round, Client: clientID, Note: tech.String()})
+		eo.span(obs.Span{T: start + out.Cost.ComputeSeconds, Dur: out.Cost.CommSeconds, Kind: "comm", Round: round, Client: clientID})
+		return
+	}
+	eo.span(obs.Span{T: start + out.Cost.TotalSeconds, Kind: "drop", Round: round, Client: clientID, Note: out.Reason.String()})
+}

@@ -8,6 +8,7 @@ import (
 	"floatfl/internal/device"
 	"floatfl/internal/metrics"
 	"floatfl/internal/nn"
+	"floatfl/internal/obs"
 	"floatfl/internal/opt"
 	"floatfl/internal/selection"
 	"floatfl/internal/tensor"
@@ -86,8 +87,12 @@ func RunSync(fed *data.Federation, pop []*device.Client, sel selection.Selector,
 	// Reusable per-worker training contexts and per-slot delta buffers:
 	// grown once, then every steady-state client round allocates nothing.
 	pool := newContextPool(global)
+	eo := newEngineObs(cfg.Metrics, cfg.Tracer)
 
 	for round := 0; round < cfg.Rounds; round++ {
+		// Virtual time at which this round starts; all spans for the round
+		// are anchored to it, so traces never depend on wall clock.
+		roundStart := res.WallClockSeconds
 		info := selection.RoundInfo{Round: round, Work: refWork, DeadlineSec: deadline}
 		// Real FL servers dispatch only to clients that checked in: filter
 		// the pool to currently-available devices. Clients can still drop
@@ -102,6 +107,8 @@ func RunSync(fed *data.Federation, pop []*device.Client, sel selection.Selector,
 			continue
 		}
 		ids := sel.Select(info, checkedIn, cfg.ClientsPerRound)
+		eo.span(obs.Span{T: roundStart, Kind: "select", Round: round, Client: -1})
+		eo.selected.Add(int64(len(ids)))
 
 		// Dispatch pass: snapshot resources and let the controller decide,
 		// in selection order, before anything executes. All decisions in a
@@ -110,7 +117,12 @@ func RunSync(fed *data.Federation, pop []*device.Client, sel selection.Selector,
 		for slot, id := range ids {
 			snap := pop[id].ResourcesAt(round)
 			jobs[slot] = syncJob{id: id, tech: ctrl.Decide(round, pop[id], snap, hfDiff[id])}
+			eo.decide(jobs[slot].tech)
 		}
+		eo.span(obs.Span{T: roundStart, Kind: "decide", Round: round, Client: -1})
+		// Jobs offered per fan-out — deliberately not busy workers, which
+		// would vary with Parallelism and break cross-P byte identity.
+		eo.fanoutJobs.Observe(float64(len(jobs)))
 
 		// Fan-out: per-client cost-model execution and local training
 		// against a frozen snapshot of the global parameters. Concurrent
@@ -137,6 +149,7 @@ func RunSync(fed *data.Federation, pop []*device.Client, sel selection.Selector,
 			if !out.Completed {
 				return
 			}
+			eo.trainCalls.Inc()
 			lt, err := trainLocal(pool.ctx(worker), pool.delta(slot), global,
 				globalParams, fed.Train[j.id],
 				fed.LocalTest[j.id], j.tech, cfg, round, j.id)
@@ -162,6 +175,8 @@ func RunSync(fed *data.Federation, pop []*device.Client, sel selection.Selector,
 			}
 			out := r.out
 			res.Ledger.Record(j.id, j.tech, out)
+			eo.dev.Record(out)
+			eo.clientSpans(roundStart, round, j.id, j.tech, out)
 			if out.Reason == device.DropDeadline {
 				anyTimeout = true
 				hfDiff[j.id] = out.DeadlineDiff
@@ -192,6 +207,11 @@ func RunSync(fed *data.Federation, pop []*device.Client, sel selection.Selector,
 		}
 		res.Ledger.WallClockSeconds += roundWall
 		res.WallClockSeconds += roundWall
+		eo.span(obs.Span{T: roundStart + roundWall, Kind: "aggregate", Round: round, Client: -1})
+		eo.rounds.Inc()
+		eo.completed.Add(int64(len(deltas)))
+		eo.dropped.Add(int64(len(ids) - len(deltas)))
+		eo.roundWall.Observe(roundWall)
 
 		summary := RoundSummaryLog{
 			Round:       round,
@@ -204,7 +224,9 @@ func RunSync(fed *data.Federation, pop []*device.Client, sel selection.Selector,
 			acc, _ := global.Evaluate(fed.GlobalTest)
 			res.GlobalAccHistory = append(res.GlobalAccHistory, acc)
 			res.EvalRounds = append(res.EvalRounds, round+1)
-			summary.GlobalAcc = acc
+			summary.GlobalAcc = &acc
+			eo.evals.Inc()
+			eo.globalAcc.Set(acc)
 		}
 		cfg.Logger.LogRoundSummary(summary)
 	}

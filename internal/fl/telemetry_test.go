@@ -1,0 +1,115 @@
+package fl
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"floatfl/internal/obs"
+	"floatfl/internal/selection"
+	"floatfl/internal/trace"
+)
+
+// runSyncTelemetry runs the standard parallel-determinism experiment with
+// a fresh registry and tracer attached and returns the text exposition
+// and the JSONL trace.
+func runSyncTelemetry(t *testing.T, par int) (string, string) {
+	t.Helper()
+	fed, pop := testSetup(t, 20, trace.ScenarioDynamic)
+	cfg := parSyncConfig(par)
+	cfg.Metrics = obs.NewRegistry()
+	cfg.Tracer = obs.NewTracer()
+	if _, err := RunSync(fed, pop, selection.NewRandom(7), newFeedbackDriven(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	return exportTelemetry(t, cfg.Metrics, cfg.Tracer)
+}
+
+func runAsyncTelemetry(t *testing.T, par int) (string, string) {
+	t.Helper()
+	fed, pop := testSetup(t, 24, trace.ScenarioDynamic)
+	cfg := parSyncConfig(par)
+	cfg.Rounds = 5
+	cfg.Concurrency = 12
+	cfg.BufferK = 4
+	cfg.Metrics = obs.NewRegistry()
+	cfg.Tracer = obs.NewTracer()
+	if _, err := RunAsync(fed, pop, newFeedbackDriven(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	return exportTelemetry(t, cfg.Metrics, cfg.Tracer)
+}
+
+func exportTelemetry(t *testing.T, reg *obs.Registry, tr *obs.Tracer) (string, string) {
+	t.Helper()
+	var mb, tb bytes.Buffer
+	if err := reg.WriteText(&mb); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSONL(&tb); err != nil {
+		t.Fatal(err)
+	}
+	return mb.String(), tb.String()
+}
+
+// TestSyncTelemetryParallelismInvariant: the metrics exposition and the
+// phase trace must be byte-identical between Parallelism=1 and
+// Parallelism=8 — telemetry is part of the determinism contract, not an
+// exception to it.
+func TestSyncTelemetryParallelismInvariant(t *testing.T) {
+	m1, tr1 := runSyncTelemetry(t, 1)
+	m8, tr8 := runSyncTelemetry(t, 8)
+	if m1 != m8 {
+		t.Errorf("metrics exposition differs between P=1 and P=8:\n--- P=1 ---\n%s--- P=8 ---\n%s", m1, m8)
+	}
+	if tr1 != tr8 {
+		t.Errorf("trace JSONL differs between P=1 and P=8 (%d vs %d bytes)", len(tr1), len(tr8))
+	}
+	if !strings.Contains(m1, "fl_rounds_total 6\n") {
+		t.Errorf("exposition missing fl_rounds_total 6:\n%s", m1)
+	}
+	for _, kind := range []string{`"kind":"select"`, `"kind":"train"`, `"kind":"aggregate"`} {
+		if !strings.Contains(tr1, kind) {
+			t.Errorf("trace missing %s span", kind)
+		}
+	}
+}
+
+func TestAsyncTelemetryParallelismInvariant(t *testing.T) {
+	m1, tr1 := runAsyncTelemetry(t, 1)
+	m8, tr8 := runAsyncTelemetry(t, 8)
+	if m1 != m8 {
+		t.Errorf("metrics exposition differs between P=1 and P=8:\n--- P=1 ---\n%s--- P=8 ---\n%s", m1, m8)
+	}
+	if tr1 != tr8 {
+		t.Errorf("trace JSONL differs between P=1 and P=8 (%d vs %d bytes)", len(tr1), len(tr8))
+	}
+	if !strings.Contains(m1, "fl_rounds_total 5\n") {
+		t.Errorf("exposition missing fl_rounds_total 5:\n%s", m1)
+	}
+}
+
+// TestSyncTraceGolden pins the trace byte stream to a checked-in golden
+// file, so any drift in span structure, ordering, or encoding is an
+// explicit diff in review. Regenerate with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/fl -run TestSyncTraceGolden
+func TestSyncTraceGolden(t *testing.T) {
+	_, got := runSyncTelemetry(t, 8)
+	golden := filepath.Join("testdata", "trace_sync.golden.jsonl")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("trace deviates from golden %s (%d vs %d bytes); regenerate with UPDATE_GOLDEN=1 if the change is intended",
+			golden, len(got), len(want))
+	}
+}

@@ -41,3 +41,16 @@ func channelSend(m map[string]int, ch chan<- int) {
 		ch <- v // want map-order-hazard (delivery order escapes)
 	}
 }
+
+// The metrics-exposition shape: formatting counter lines straight out of
+// a map range writes them in nondeterministic order — exactly the bug a
+// collect-then-sort snapshot exists to prevent.
+func unsortedExposition(counters map[string]int64) []string {
+	var lines []string
+	for name, v := range counters {
+		lines = append(lines, name+" "+itoa(v)) // want map-order-hazard (exposition without sort)
+	}
+	return lines
+}
+
+func itoa(int64) string { return "" }

@@ -49,3 +49,27 @@ func allowedAccum(m map[string]float64) float64 {
 	}
 	return sum
 }
+
+// The sanctioned metrics-exposition shape (obs.Registry.Snapshot):
+// collect every counter line out of the map, then sort before anything
+// escapes — map order never reaches the output.
+func sortedExposition(counters map[string]int64) []string {
+	var lines []string
+	for name := range counters {
+		lines = append(lines, name)
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// An allowlisted exposition: the order is intentionally unstable (a debug
+// dump whose consumer sorts), recorded as an explicit, reasoned
+// exception instead of silent nondeterminism.
+func allowedExposition(counters map[string]int64) []string {
+	var lines []string
+	for name := range counters {
+		//lint:allow map-order-hazard fixture: debug dump; the consumer sorts
+		lines = append(lines, name)
+	}
+	return lines
+}

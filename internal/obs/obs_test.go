@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter value = %d, want 5", got)
+	}
+	if again := r.Counter("events_total"); again != c {
+		t.Fatal("re-registration did not return the same handle")
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("acc")
+	g.Set(0.75)
+	g.Set(0.5)
+	if got := g.Value(); got != 0.5 {
+		t.Fatalf("gauge value = %v, want 0.5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 5, 10})
+	for _, v := range []float64{0.5, 1, 1.5, 7, 100, math.NaN(), math.Inf(1)} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5 (non-finite dropped)", got)
+	}
+	if got, want := h.Sum(), 110.0; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("snapshot histograms = %d, want 1", len(snap.Histograms))
+	}
+	buckets := snap.Histograms[0].Buckets
+	// Cumulative: <=1 holds {0.5, 1}; <=5 adds 1.5; <=10 adds 7; +Inf adds 100.
+	want := []Bucket{{"1", 2}, {"5", 3}, {"10", 4}, {"+Inf", 5}}
+	if !reflect.DeepEqual(buckets, want) {
+		t.Fatalf("buckets = %+v, want %+v", buckets, want)
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-increasing bounds")
+		}
+	}()
+	NewRegistry().Histogram("bad", []float64{5, 1})
+}
+
+func TestKindCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic registering gauge over counter name")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestNilHandlesAreSafe(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []float64{1})
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	h.Observe(2)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles must read zero")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry WriteText: err=%v len=%d", err, buf.Len())
+	}
+}
+
+// TestSnapshotSorted seeds names in a scrambled order and checks the
+// exposition is name-sorted — the registry must never leak map order.
+func TestSnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"zulu", "alpha", "mike", "bravo"} {
+		r.Counter(name).Inc()
+	}
+	snap := r.Snapshot()
+	for i := 1; i < len(snap.Counters); i++ {
+		if snap.Counters[i-1].Name >= snap.Counters[i].Name {
+			t.Fatalf("counters not sorted: %q before %q", snap.Counters[i-1].Name, snap.Counters[i].Name)
+		}
+	}
+}
+
+// TestExpositionDeterministic builds the same metric state twice (with
+// different registration and update interleavings) and requires
+// byte-identical text and JSON output.
+func TestExpositionDeterministic(t *testing.T) {
+	build := func(reverse bool) *Registry {
+		r := NewRegistry()
+		names := []string{"a_total", "b_total", "c_total"}
+		if reverse {
+			names = []string{"c_total", "b_total", "a_total"}
+		}
+		for _, n := range names {
+			r.Counter(n)
+		}
+		r.Counter("a_total").Add(1)
+		r.Counter("b_total").Add(2)
+		r.Counter("c_total").Add(3)
+		r.Gauge("acc").Set(0.125)
+		h := r.Histogram("sec", []float64{0.1, 1, 10})
+		for _, v := range []float64{0.05, 0.5, 5, 50} {
+			h.Observe(v)
+		}
+		return r
+	}
+	var t1, t2, j1, j2 bytes.Buffer
+	if err := build(false).WriteText(&t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build(true).WriteText(&t2); err != nil {
+		t.Fatal(err)
+	}
+	if t1.String() != t2.String() {
+		t.Fatalf("text exposition differs:\n%s\nvs\n%s", t1.String(), t2.String())
+	}
+	enc1 := json.NewEncoder(&j1)
+	if err := enc1.Encode(build(false).Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	enc2 := json.NewEncoder(&j2)
+	if err := enc2.Encode(build(true).Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if j1.String() != j2.String() {
+		t.Fatalf("json exposition differs:\n%s\nvs\n%s", j1.String(), j2.String())
+	}
+	for _, want := range []string{
+		"a_total 1\n", "acc 0.125\n", "sec_count 4\n", "sec_sum 55.55\n", `sec_bucket{le="+Inf"} 4`,
+	} {
+		if !strings.Contains(t1.String(), want) {
+			t.Errorf("text exposition missing %q:\n%s", want, t1.String())
+		}
+	}
+}
+
+// TestConcurrentUpdatesDeterministic hammers one counter and one
+// histogram from many goroutines: totals, the fixed-point sum, and bucket
+// counts must equal the sequential result exactly — interleaving can
+// never shift a bit of the snapshot.
+func TestConcurrentUpdatesDeterministic(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n")
+	h := r.Histogram("v", []float64{1, 2, 4})
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(float64(i%5) + 0.5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	// 1000 iterations cycle i%5 → values 0.5,1.5,2.5,3.5,4.5 each 200 times
+	// per worker: sum per worker = 200*(0.5+1.5+2.5+3.5+4.5) = 2500.
+	if got, want := h.Sum(), float64(workers*2500); got != want {
+		t.Fatalf("histogram sum = %v, want %v", got, want)
+	}
+}
+
+// TestHotPathZeroAlloc is the zero-alloc contract for instrumented inner
+// loops: once handles are registered, Inc/Add/Set/Observe allocate
+// nothing, and neither do their nil no-op twins.
+func TestHotPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []float64{0.1, 1, 10})
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(3.5)
+		h.Observe(0.42)
+	}); n != 0 {
+		t.Fatalf("live handle hot path allocates %v/op, want 0", n)
+	}
+	var nilC *Counter
+	var nilG *Gauge
+	var nilH *Histogram
+	if n := testing.AllocsPerRun(1000, func() {
+		nilC.Inc()
+		nilG.Set(1)
+		nilH.Observe(1)
+	}); n != 0 {
+		t.Fatalf("nil handle hot path allocates %v/op, want 0", n)
+	}
+}

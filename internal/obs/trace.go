@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Span is one traced event: a phase of a round (select, decide, train,
+// comm, aggregate) or a point event (drop, lease_grant, lease_expiry,
+// retry, fault, round_timer). T and Dur are in the caller's time domain —
+// virtual simulation seconds for the FL engines, seconds since server
+// start for internal/dist — never wall clock. Client is -1 for spans not
+// attributed to a single client; point events have Dur 0.
+type Span struct {
+	T      float64 `json:"t"`
+	Dur    float64 `json:"dur"`
+	Kind   string  `json:"kind"`
+	Round  int     `json:"round"`
+	Client int     `json:"client"`
+	Note   string  `json:"note,omitempty"`
+}
+
+// Tracer accumulates spans in emission order. Emission order must itself
+// be deterministic — the engines emit from their single-threaded dispatch
+// and collect passes, the dist server from under its mutex — so the JSONL
+// export is byte-identical for a fixed seed at any Parallelism. A nil
+// *Tracer is a valid no-op sink.
+type Tracer struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{}
+}
+
+// Emit appends one span.
+func (t *Tracer) Emit(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// Len returns the number of spans recorded (0 for nil).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Spans returns a copy of the recorded spans in emission order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// WriteJSONL writes one span per line in emission order. encoding/json
+// uses shortest-round-trip float formatting and fixed field order, so
+// equal span sequences always produce equal bytes.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	for _, s := range t.Spans() {
+		line, err := json.Marshal(s)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses a trace written by WriteJSONL. Blank lines are
+// skipped; a malformed line is an error (traces are machine-written, so
+// damage should surface, not be papered over).
+func ReadJSONL(r io.Reader) ([]Span, error) {
+	var spans []Span
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var s Span
+		if err := json.Unmarshal(line, &s); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", lineNo, err)
+		}
+		spans = append(spans, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return spans, nil
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleSpans() []Span {
+	return []Span{
+		{T: 0, Dur: 0, Kind: "select", Round: 0, Client: -1},
+		{T: 0, Dur: 2.5, Kind: "train", Round: 0, Client: 3, Note: "quant8"},
+		{T: 2.5, Dur: 0.25, Kind: "comm", Round: 0, Client: 3},
+		{T: 3, Dur: 0, Kind: "drop", Round: 0, Client: 7, Note: "deadline"},
+		{T: 3, Dur: 0, Kind: "aggregate", Round: 0, Client: -1},
+	}
+}
+
+func TestTracerRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	for _, s := range sampleSpans() {
+		tr.Emit(s)
+	}
+	if tr.Len() != len(sampleSpans()) {
+		t.Fatalf("len = %d, want %d", tr.Len(), len(sampleSpans()))
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sampleSpans()) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, sampleSpans())
+	}
+}
+
+func TestTracerWriteDeterministic(t *testing.T) {
+	render := func() string {
+		tr := NewTracer()
+		for _, s := range sampleSpans() {
+			tr.Emit(s)
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Fatalf("JSONL rendering not reproducible:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Span{Kind: "train"})
+	if tr.Len() != 0 || tr.Spans() != nil {
+		t.Fatal("nil tracer must record nothing")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil tracer WriteJSONL: err=%v len=%d", err, buf.Len())
+	}
+}
+
+func TestSpansReturnsCopy(t *testing.T) {
+	tr := NewTracer()
+	tr.Emit(Span{Kind: "a"})
+	spans := tr.Spans()
+	spans[0].Kind = "mutated"
+	if tr.Spans()[0].Kind != "a" {
+		t.Fatal("Spans must return a copy, not the backing slice")
+	}
+}
+
+func TestReadJSONLSkipsBlankRejectsGarbage(t *testing.T) {
+	got, err := ReadJSONL(strings.NewReader("{\"kind\":\"x\",\"t\":1,\"dur\":0,\"round\":0,\"client\":-1}\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Kind != "x" {
+		t.Fatalf("got %+v", got)
+	}
+	if _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("expected error on malformed trace line")
+	}
+}

@@ -1,0 +1,76 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"floatfl/internal/obs"
+)
+
+func traceFixture() []obs.Span {
+	return []obs.Span{
+		{T: 0, Dur: 0.1, Kind: "select", Round: 0, Client: -1},
+		{T: 0.1, Dur: 0.05, Kind: "decide", Round: 0, Client: -1},
+		{T: 0.15, Dur: 10, Kind: "train", Round: 0, Client: 3, Note: "quant8"},
+		{T: 10.15, Dur: 2, Kind: "comm", Round: 0, Client: 3},
+		{T: 0.15, Dur: 25, Kind: "train", Round: 0, Client: 7, Note: "none"},
+		{T: 25.15, Dur: 5, Kind: "comm", Round: 0, Client: 7},
+		{T: 31, Dur: 0, Kind: "drop", Round: 0, Client: 9, Note: "deadline"},
+		{T: 31, Dur: 0.2, Kind: "aggregate", Round: 0, Client: -1},
+		{T: 40, Dur: 0, Kind: "lease_expiry", Round: 1, Client: 4},
+	}
+}
+
+func TestSummarizeTrace(t *testing.T) {
+	ts := SummarizeTrace(traceFixture())
+	if ts.Spans != 9 {
+		t.Fatalf("Spans = %d, want 9", ts.Spans)
+	}
+	if len(ts.Phases) == 0 || ts.Phases[0].Kind != "train" {
+		t.Fatalf("dominant phase = %+v, want train first", ts.Phases)
+	}
+	if ts.Phases[0].Seconds != 35 || ts.Phases[0].Count != 2 {
+		t.Fatalf("train phase = %+v, want 35s over 2 spans", ts.Phases[0])
+	}
+	if len(ts.SlowestClients) != 2 || ts.SlowestClients[0].Client != 7 {
+		t.Fatalf("SlowestClients = %+v, want client 7 first", ts.SlowestClients)
+	}
+	if ts.SlowestClients[0].Seconds != 30 {
+		t.Fatalf("client 7 busy = %v, want 30", ts.SlowestClients[0].Seconds)
+	}
+	if len(ts.Events) != 2 || ts.Events[0].Kind != "drop" || ts.Events[1].Kind != "lease_expiry" {
+		t.Fatalf("Events = %+v, want [drop lease_expiry]", ts.Events)
+	}
+}
+
+func TestParseTraceRoundTrip(t *testing.T) {
+	tr := obs.NewTracer()
+	for _, s := range traceFixture() {
+		tr.Emit(s)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Spans != 9 {
+		t.Fatalf("Spans = %d, want 9", ts.Spans)
+	}
+	var out strings.Builder
+	ts.Fprint(&out)
+	for _, want := range []string{"phase time breakdown", "train", "slowest clients", "event timeline", "(deadline)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("Fprint output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestParseTraceRejectsGarbage(t *testing.T) {
+	if _, err := ParseTrace(strings.NewReader("{\"t\":0}\nnot json\n")); err == nil {
+		t.Fatal("want error on malformed trace line")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"floatfl/internal/obs"
 	"floatfl/internal/opt"
 )
 
@@ -99,6 +100,43 @@ type Agent struct {
 	rewardHistory []float64
 
 	updates int
+
+	// Telemetry handles (nil until Instrument): selection and reward-update
+	// counters feeding the Fig 10 action-frequency analysis live.
+	obsSelects        *obs.Counter
+	obsExplores       *obs.Counter
+	obsUpdates        *obs.Counter
+	obsParticipations *obs.Counter
+	obsActions        []*obs.Counter // indexed like a.actions
+}
+
+// Instrument registers the agent's selection/update counters on reg.
+// Registration is idempotent per metric name, so per-client agent fleets
+// sharing one registry accumulate into the same counters. A nil reg
+// leaves the handles nil, which every recording path tolerates.
+func (a *Agent) Instrument(reg *obs.Registry) {
+	a.obsSelects = reg.Counter("rl_action_selected_total")
+	a.obsExplores = reg.Counter("rl_explorations_total")
+	a.obsUpdates = reg.Counter("rl_updates_total")
+	a.obsParticipations = reg.Counter("rl_participations_total")
+	a.obsActions = make([]*obs.Counter, len(a.actions))
+	for i, t := range a.actions {
+		a.obsActions[i] = reg.Counter(`rl_action_selected_total{action="` + t.String() + `"}`)
+	}
+}
+
+// recordSelect is the single exit point of SelectAction: it counts the
+// pick (guarding the per-action slice, which is nil when uninstrumented)
+// and returns the chosen technique.
+func (a *Agent) recordSelect(idx int, explored bool) opt.Technique {
+	a.obsSelects.Inc()
+	if explored {
+		a.obsExplores.Inc()
+	}
+	if idx >= 0 && idx < len(a.obsActions) {
+		a.obsActions[idx].Inc()
+	}
+	return a.actions[idx]
 }
 
 // NewAgent constructs an agent over FLOAT's 8-action space, or over
@@ -173,7 +211,7 @@ func (a *Agent) SelectAction(s State) opt.Technique {
 	}
 	if a.rng.Float64() < eps {
 		if a.cfg.DisableBalancedExploration {
-			return a.actions[a.rng.Intn(len(a.actions))]
+			return a.recordSelect(a.rng.Intn(len(a.actions)), true)
 		}
 		// Balanced exploration: among least-visited actions, pick randomly.
 		var least []int
@@ -182,7 +220,7 @@ func (a *Agent) SelectAction(s State) opt.Technique {
 				least = append(least, i)
 			}
 		}
-		return a.actions[least[a.rng.Intn(len(least))]]
+		return a.recordSelect(least[a.rng.Intn(len(least))], true)
 	}
 
 	best, bestScore := 0, a.score(cs[0])
@@ -191,7 +229,7 @@ func (a *Agent) SelectAction(s State) opt.Technique {
 			best, bestScore = i, sc
 		}
 	}
-	return a.actions[best]
+	return a.recordSelect(best, false)
 }
 
 // score combines the two objectives with the reward weights.
@@ -322,6 +360,10 @@ func (a *Agent) Update(round int, s State, tech opt.Technique, participated bool
 	}
 
 	a.updates++
+	a.obsUpdates.Inc()
+	if participated {
+		a.obsParticipations.Inc()
+	}
 	a.rewardHistory = append(a.rewardHistory, a.cfg.WP*p+a.cfg.WA*accImprove)
 	return nil
 }
