@@ -11,7 +11,11 @@
 package bench
 
 import (
+	"encoding/json"
+	"flag"
+	"fmt"
 	"math/rand"
+	"os"
 	"runtime"
 	"testing"
 
@@ -75,13 +79,14 @@ func BenchmarkAblationActionSpace(b *testing.B)   { figureBench(b, "ablation-act
 // --- parallel round execution ---
 
 // benchRounds runs a short synchronous training run at the given
-// per-round client parallelism. The federation and population are rebuilt
-// each iteration (off the clock) so every iteration simulates identical
-// rounds; the engines guarantee the results are bit-identical across
-// parallelism levels, so these two benchmarks measure pure speedup. The
-// obs registry and tracer ride along so the reported allocs/op include
-// the telemetry layer's per-round cost (CI gates this envelope).
-func benchRounds(b *testing.B, parallelism int) {
+// per-round client parallelism and tensor backend. The federation and
+// population are rebuilt each iteration (off the clock) so every iteration
+// simulates identical rounds; the engines guarantee the results are
+// bit-identical across parallelism levels (for a fixed backend), so these
+// benchmarks measure pure speedup. The obs registry and tracer ride along
+// so the reported allocs/op include the telemetry layer's per-round cost
+// (CI gates this envelope on the ref backend).
+func benchRounds(b *testing.B, parallelism int, backend string) {
 	b.Helper()
 	cfg := fl.Config{
 		Arch:            "resnet34",
@@ -93,6 +98,7 @@ func benchRounds(b *testing.B, parallelism int) {
 		EvalEvery:       4,
 		Seed:            17,
 		Parallelism:     parallelism,
+		Backend:         backend,
 		Metrics:         obs.NewRegistry(),
 		Tracer:          obs.NewTracer(),
 	}
@@ -117,7 +123,7 @@ func benchRounds(b *testing.B, parallelism int) {
 	}
 }
 
-func BenchmarkRoundSequential(b *testing.B) { benchRounds(b, 1) }
+func BenchmarkRoundSequential(b *testing.B) { benchRounds(b, 1, "ref") }
 
 // BenchmarkRoundParallel uses at least 4 workers so the pool's goroutine
 // machinery is exercised even on small machines: on a multi-core host the
@@ -128,10 +134,118 @@ func BenchmarkRoundParallel(b *testing.B) {
 	if par < 4 {
 		par = 4
 	}
-	benchRounds(b, par)
+	benchRounds(b, par, "ref")
+}
+
+// BenchmarkRoundFastSequential / BenchmarkRoundFastParallel are the same
+// runs on the fast backend (batched GEMM forward/backward, fused
+// softmax+xent). The ratio to the ref variants is the kernel speedup the
+// committed BENCH_*.json artifact records. Named so CI's
+// /BenchmarkRoundParallel/ alloc gate keeps matching only the ref run.
+func BenchmarkRoundFastSequential(b *testing.B) { benchRounds(b, 1, "fast") }
+
+func BenchmarkRoundFastParallel(b *testing.B) {
+	par := runtime.NumCPU()
+	if par < 4 {
+		par = 4
+	}
+	benchRounds(b, par, "fast")
 }
 
 // --- substrate micro-benchmarks ---
+
+// benchPerBackend runs one kernel benchmark as a sub-benchmark per
+// registered tensor backend, so `-bench BenchmarkBackend` compares ref and
+// fast side by side. The factory pattern lets the -bench-out artifact
+// writer reuse the exact same bodies via testing.Benchmark.
+func benchPerBackend(b *testing.B, factory func(be tensor.Backend) func(b *testing.B)) {
+	b.Helper()
+	for _, name := range tensor.Backends() {
+		be, err := tensor.Lookup(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, factory(be))
+	}
+}
+
+func matVecBench(be tensor.Backend) func(b *testing.B) {
+	return func(b *testing.B) {
+		rng := rand.New(rand.NewSource(11))
+		m := tensor.NewMatrix(64, 64)
+		tensor.RandnInto(m.Data, 1, rng)
+		x, dst := tensor.NewVector(64), tensor.NewVector(64)
+		tensor.RandnInto(x, 1, rng)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			be.MatVec(m, dst, x)
+		}
+	}
+}
+
+// matMulNTBench is the batched Dense forward shape: a 16-sample minibatch
+// of width 64 against a 64×64 weight matrix.
+func matMulNTBench(be tensor.Backend) func(b *testing.B) {
+	return func(b *testing.B) {
+		rng := rand.New(rand.NewSource(12))
+		x := tensor.NewMatrix(16, 64)
+		tensor.RandnInto(x.Data, 1, rng)
+		w := tensor.NewMatrix(64, 64)
+		tensor.RandnInto(w.Data, 1, rng)
+		dst := tensor.NewMatrix(16, 64)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			be.MatMulNT(dst, x, w)
+		}
+	}
+}
+
+func softmaxXentBench(be tensor.Backend) func(b *testing.B) {
+	return func(b *testing.B) {
+		rng := rand.New(rand.NewSource(13))
+		logits := tensor.NewVector(64)
+		tensor.RandnInto(logits, 1, rng)
+		probs, grad := tensor.NewVector(64), tensor.NewVector(64)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			be.SoftmaxXent(probs, grad, logits, 7)
+		}
+	}
+}
+
+// trainLocalBench measures one client's local training epoch on the given
+// backend — the unit of work the FL round parallelizes, and where the fast
+// backend's batched path earns its speedup.
+func trainLocalBench(be tensor.Backend) func(b *testing.B) {
+	return func(b *testing.B) {
+		fed, err := data.Generate("femnist", data.GenerateConfig{Clients: 1, Alpha: 0.1, Seed: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(3))
+		m, err := nn.NewModel("resnet34", fed.Profile.Dim, fed.Profile.Classes, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.SetBackend(be)
+		cfg := nn.TrainConfig{Epochs: 1, BatchSize: 16, LR: 0.1, GradClip: 5, Seed: 4}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Train(fed.Train[0], cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkBackendMatVec(b *testing.B)      { benchPerBackend(b, matVecBench) }
+func BenchmarkBackendMatMulNT(b *testing.B)    { benchPerBackend(b, matMulNTBench) }
+func BenchmarkBackendSoftmaxXent(b *testing.B) { benchPerBackend(b, softmaxXentBench) }
+func BenchmarkBackendTrainLocal(b *testing.B)  { benchPerBackend(b, trainLocalBench) }
 
 func BenchmarkTensorMatVec(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
@@ -249,6 +363,143 @@ func BenchmarkRLSelectAction(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		a.SelectAction(states[i%len(states)])
 	}
+}
+
+// --- BENCH_*.json artifact ---
+
+// benchOut, when set, makes the test binary skip the regular test run and
+// instead execute the curated benchmark set below via testing.Benchmark,
+// writing a machine-readable BENCH_*.json artifact:
+//
+//	go test -run NONE -bench-out BENCH_roundtrip.json .
+//
+// The committed BENCH_roundtrip.json at the repo root records the measured
+// ref-vs-fast speedup; CI regenerates a fresh one per run and uploads it
+// as a workflow artifact for trend tracking.
+var benchOut = flag.String("bench-out", "", "write a JSON benchmark artifact to this path and skip the test run")
+
+// benchRecord is one benchmark measurement in the artifact.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchArtifact is the BENCH_*.json schema. SpeedupVsRef holds, per
+// workload, fast's throughput gain over ref (ref ns / fast ns; >1 means
+// fast is faster).
+type benchArtifact struct {
+	Schema       string             `json:"schema"`
+	GoVersion    string             `json:"go_version"`
+	GOOS         string             `json:"goos"`
+	GOARCH       string             `json:"goarch"`
+	NumCPU       int                `json:"num_cpu"`
+	Benchmarks   []benchRecord      `json:"benchmarks"`
+	SpeedupVsRef map[string]float64 `json:"speedup_vs_ref"`
+}
+
+func writeBenchArtifact(path string) error {
+	// The curated set: the end-to-end round benches on both backends plus
+	// the per-backend kernel benches that explain any movement in them.
+	par := runtime.NumCPU()
+	if par < 4 {
+		par = 4
+	}
+	cases := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"round_sequential/ref", func(b *testing.B) { benchRounds(b, 1, "ref") }},
+		{"round_sequential/fast", func(b *testing.B) { benchRounds(b, 1, "fast") }},
+		{"round_parallel/ref", func(b *testing.B) { benchRounds(b, par, "ref") }},
+		{"round_parallel/fast", func(b *testing.B) { benchRounds(b, par, "fast") }},
+	}
+	perBackend := []struct {
+		name    string
+		factory func(be tensor.Backend) func(b *testing.B)
+	}{
+		{"backend_train_local", trainLocalBench},
+		{"backend_matvec", matVecBench},
+		{"backend_matmul_nt", matMulNTBench},
+		{"backend_softmax_xent", softmaxXentBench},
+	}
+	for _, pb := range perBackend {
+		for _, name := range tensor.Backends() {
+			be, err := tensor.Lookup(name)
+			if err != nil {
+				return err
+			}
+			cases = append(cases, struct {
+				name string
+				fn   func(b *testing.B)
+			}{pb.name + "/" + name, pb.factory(be)})
+		}
+	}
+
+	art := benchArtifact{
+		Schema:       "floatfl-bench/v1",
+		GoVersion:    runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		NumCPU:       runtime.NumCPU(),
+		SpeedupVsRef: map[string]float64{},
+	}
+	nsByName := map[string]float64{}
+	for _, c := range cases {
+		r := testing.Benchmark(c.fn)
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		nsByName[c.name] = ns
+		art.Benchmarks = append(art.Benchmarks, benchRecord{
+			Name:        c.name,
+			Iterations:  r.N,
+			NsPerOp:     ns,
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "bench %-28s %14.0f ns/op %8d allocs/op (n=%d)\n",
+			c.name, ns, r.AllocsPerOp(), r.N)
+	}
+	for name, fastNs := range nsByName {
+		base, suffix := splitBackendSuffix(name)
+		if suffix != "fast" || base == "" {
+			continue
+		}
+		if refNs, ok := nsByName[base+"/ref"]; ok && fastNs > 0 {
+			art.SpeedupVsRef[base] = refNs / fastNs
+		}
+	}
+	blob, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// splitBackendSuffix splits "round_parallel/fast" into ("round_parallel",
+// "fast"); names without a slash return ("", name).
+func splitBackendSuffix(name string) (base, suffix string) {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '/' {
+			return name[:i], name[i+1:]
+		}
+	}
+	return "", name
+}
+
+// TestMain lets -bench-out divert the binary into artifact mode; without
+// the flag the regular test run proceeds untouched.
+func TestMain(m *testing.M) {
+	flag.Parse()
+	if *benchOut != "" {
+		if err := writeBenchArtifact(*benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "bench-out:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
 }
 
 func BenchmarkDeviceExecute(b *testing.B) {

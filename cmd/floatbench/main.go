@@ -54,6 +54,7 @@ func main() {
 		rounds  = flag.Int("rounds", 0, "override round count")
 		seed    = flag.Int64("seed", 0, "override RNG seed")
 		par     = flag.Int("parallel", 0, "client-execution workers per round (0 = all CPU cores; results are identical for any value)")
+		backend = flag.String("backend", "ref", "tensor backend for local training: ref (bit-stable determinism oracle) | fast (blocked/tiled kernels)")
 		metOut  = flag.String("metrics-out", "", "write the end-of-run metrics snapshot (text exposition) to this file ('-' = stdout)")
 		trOut   = flag.String("trace-out", "", "write the JSONL phase trace to this file ('-' = stdout; analyze with floatreport -trace)")
 	)
@@ -83,6 +84,7 @@ func main() {
 	if *par > 0 {
 		sc.Parallelism = *par
 	}
+	sc.Backend = *backend
 	if *metOut != "" {
 		sc.Metrics = obs.NewRegistry()
 	}

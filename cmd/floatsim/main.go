@@ -66,6 +66,7 @@ func main() {
 		deadlinePc = flag.Float64("deadline-pct", 0, "deadline percentile of population response time")
 		seed       = flag.Int64("seed", 0, "override RNG seed")
 		parallel   = flag.Int("parallel", 0, "client-execution workers per round (0 = all CPU cores; results are identical for any value)")
+		backend    = flag.String("backend", "ref", "tensor backend for local training: ref (bit-stable determinism oracle) | fast (blocked/tiled kernels)")
 		saveAgent  = flag.String("save-agent", "", "write the FLOAT agent's Q-table to this file")
 		logPath    = flag.String("log", "", "write a JSONL training log to this file (analyze with floatreport)")
 		metricsOut = flag.String("metrics-out", "", "write the end-of-run metrics snapshot (text exposition) to this file ('-' = stdout)")
@@ -97,6 +98,7 @@ func main() {
 	if *parallel > 0 {
 		sc.Parallelism = *parallel
 	}
+	sc.Backend = *backend
 	if *metricsOut != "" {
 		sc.Metrics = obs.NewRegistry()
 	}

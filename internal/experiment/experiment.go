@@ -43,6 +43,9 @@ type Scale struct {
 	// instrumentation-free with zero overhead.
 	Metrics *obs.Registry
 	Tracer  *obs.Tracer
+	// Backend selects the tensor backend for local training ("ref" |
+	// "fast"; empty = "ref"). Published figures and goldens bind to "ref".
+	Backend string
 }
 
 // Quick is a CI-sized scale that preserves the figures' shapes.

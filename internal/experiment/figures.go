@@ -305,6 +305,7 @@ func runWith(sc Scale, spec RunSpec, ctrl fl.Controller) (*fl.Result, error) {
 		Concurrency:        sc.AsyncConcurrency,
 		BufferK:            sc.AsyncBuffer,
 		Parallelism:        sc.Parallelism,
+		Backend:            sc.Backend,
 		Logger:             spec.Logger,
 		Metrics:            sc.Metrics,
 		Tracer:             sc.Tracer,

@@ -118,6 +118,9 @@ func RunAsync(fed *data.Federation, pop []*device.Client, ctrl Controller, cfg C
 	if err != nil {
 		return nil, err
 	}
+	if err := setModelBackend(global, cfg.Backend); err != nil {
+		return nil, err
+	}
 
 	refWork := workSpecFor(spec, meanShardSize(fed.Train), cfg.Epochs)
 

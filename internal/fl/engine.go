@@ -106,6 +106,13 @@ type Config struct {
 	// results to Parallelism=1. <= 0 defaults to runtime.NumCPU().
 	Parallelism int
 
+	// Backend names the tensor backend local training runs on ("ref" |
+	// "fast"; empty defaults to "ref"). The determinism invariants — the
+	// P=1≡P=8 golden tests and the committed trace goldens — bind to
+	// "ref"; "fast" trades bit-stability across backend versions for
+	// speed while remaining deterministic for a fixed binary.
+	Backend string
+
 	// Logger receives structured per-client-round and per-round events
 	// (nil discards them).
 	Logger RoundLogger
@@ -153,6 +160,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Parallelism <= 0 {
 		c.Parallelism = defaultParallelism()
+	}
+	if c.Backend == "" {
+		c.Backend = "ref"
 	}
 	if c.Logger == nil {
 		c.Logger = NopLogger{}
@@ -216,6 +226,19 @@ func AutoDeadline(pop []*device.Client, w device.WorkSpec, percentile float64) f
 		d = 60
 	}
 	return d
+}
+
+// setModelBackend resolves cfg.Backend by name and installs it on the
+// global model; every per-worker clone inherits it (nn.Model.Clone
+// propagates the backend), so one call here switches the whole run's
+// training kernels.
+func setModelBackend(m *nn.Model, name string) error {
+	be, err := tensor.Lookup(name)
+	if err != nil {
+		return fmt.Errorf("fl: Config.Backend: %w", err)
+	}
+	m.SetBackend(be)
+	return nil
 }
 
 // meanShardSize returns the average client shard size, guarding the

@@ -67,6 +67,9 @@ func RunSync(fed *data.Federation, pop []*device.Client, sel selection.Selector,
 	if err != nil {
 		return nil, err
 	}
+	if err := setModelBackend(global, cfg.Backend); err != nil {
+		return nil, err
+	}
 
 	refWork := workSpecFor(spec, meanShardSize(fed.Train), cfg.Epochs)
 

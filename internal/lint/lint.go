@@ -85,6 +85,7 @@ var Rules = []*Rule{
 	ruleMapOrderHazard,
 	ruleFlatViewMutation,
 	ruleNakedGoroutine,
+	ruleTensorBackend,
 }
 
 // RuleNames returns the registered rule names in order.

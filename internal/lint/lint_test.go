@@ -22,6 +22,7 @@ var badFixtures = []struct {
 	{"map-order-hazard", "maporder_bad.go"},
 	{"flat-view-mutation", "flatview_bad.go"},
 	{"naked-goroutine", "goroutine_bad.go"},
+	{"tensor-backend", "backend_bad.go"},
 }
 
 // okFixtures hold the sanctioned patterns plus one //lint:allow-annotated
@@ -33,6 +34,7 @@ var okFixtures = []string{
 	"maporder_ok.go",
 	"flatview_ok.go",
 	"goroutine_ok.go",
+	"backend_ok.go",
 }
 
 func loadFixture(t *testing.T, name string) *lint.Package {

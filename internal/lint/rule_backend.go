@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// backendKernelMethods are the Matrix methods superseded by the
+// tensor.Backend interface: the training hot path must reach them through
+// a backend so a run's kernel choice is a single point of configuration
+// (and the golden determinism tests bind to exactly one of them).
+var backendKernelMethods = map[string]bool{
+	"MatVec": true, "MatVecT": true, "AddOuterScaled": true,
+}
+
+// ruleTensorBackend enforces the backend seam introduced with the
+// pluggable tensor backends: outside internal/tensor (where the backends
+// themselves live), production code must not call the backend-routed
+// kernels directly — Matrix.MatVec / Matrix.MatVecT / Matrix.AddOuterScaled
+// or the free Softmax. Calling the same-named methods on a tensor.Backend
+// value is the sanctioned route and is never flagged; a deliberately
+// fixed-to-ref site uses tensor.Default() (also a Backend method call) or
+// carries a //lint:allow annotation.
+//
+// The check mirrors the package's other type-aware heuristics: a flagged
+// method call has a receiver whose named type is "Matrix" (pointer or
+// value); a flagged Softmax call resolves to a package-level function, not
+// a method, so Backend.Softmax stays clean.
+var ruleTensorBackend = &Rule{
+	Name: "tensor-backend",
+	Doc: "flags direct calls to backend-routed kernels (Matrix.MatVec/MatVecT/AddOuterScaled, " +
+		"free Softmax) outside internal/tensor; route them through a tensor.Backend",
+	// Kernel unit tests and benchmarks exercise the raw loops on purpose.
+	SkipTests: true,
+	Check: func(pass *Pass) {
+		// The backends implement the interface with these very calls.
+		if strings.Contains(pass.Filename, "internal/tensor/") {
+			return
+		}
+		ast.Inspect(pass.File, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.SelectorExpr:
+				name := fun.Sel.Name
+				if backendKernelMethods[name] && isMatrixReceiver(pass, fun.X) {
+					pass.Report(call.Pos(),
+						"Matrix.%s bypasses the tensor backend seam; call it through the model's tensor.Backend",
+						name)
+					return true
+				}
+				if name == "Softmax" && isPackageFunc(pass, fun.Sel) {
+					pass.Report(call.Pos(),
+						"free Softmax bypasses the tensor backend seam; call Backend.Softmax (tensor.Default() for a sanctioned fixed-ref site)")
+				}
+			case *ast.Ident:
+				if fun.Name == "Softmax" && isPackageFunc(pass, fun) {
+					pass.Report(call.Pos(),
+						"free Softmax bypasses the tensor backend seam; call Backend.Softmax (tensor.Default() for a sanctioned fixed-ref site)")
+				}
+			}
+			return true
+		})
+	},
+}
+
+// isMatrixReceiver reports whether e's type is the named type Matrix or a
+// pointer to it.
+func isMatrixReceiver(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Matrix"
+}
+
+// isPackageFunc reports whether id resolves to a package-level function
+// (receiver-less), as opposed to a method such as Backend.Softmax.
+func isPackageFunc(pass *Pass, id *ast.Ident) bool {
+	fn, ok := pass.ObjectOf(id).(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}

@@ -1,0 +1,27 @@
+// Fixture: direct calls to backend-routed kernels — Matrix methods and the
+// free Softmax — outside internal/tensor. Every call below must be flagged
+// by tensor-backend.
+package fixture
+
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+func (m *Matrix) MatVec(dst, x []float64)                  {}
+func (m *Matrix) MatVecT(dst, x []float64)                 {}
+func (m *Matrix) AddOuterScaled(a float64, u, v []float64) {}
+
+func Softmax(dst, src []float64) {}
+
+func badForward(m *Matrix, dst, x []float64) {
+	m.MatVec(dst, x)
+	m.MatVecT(dst, x)
+	m.AddOuterScaled(1, x, x)
+	Softmax(dst, x)
+}
+
+func badValueReceiver(m Matrix, dst, x []float64) {
+	// Value receivers bypass the seam just as well as pointers.
+	(&m).MatVec(dst, x)
+}

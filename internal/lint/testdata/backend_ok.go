@@ -1,0 +1,44 @@
+// Fixture: the sanctioned routes through the tensor backend seam — kernel
+// calls as Backend methods, same-named methods on non-Matrix types, and
+// //lint:allow-annotated direct calls. Must produce zero findings.
+// (Fixtures are type-checked one file at a time, so the Matrix/Softmax
+// names here never collide with backend_bad.go.)
+package fixture
+
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+func (m *Matrix) MatVec(dst, x []float64) {}
+
+func Softmax(dst, src []float64) {}
+
+type notAMatrix struct{}
+
+func (notAMatrix) MatVec(dst, x []float64) {}
+
+// OkBackend mirrors tensor.Backend: the kernel names exist as methods, and
+// calling them through the interface is the sanctioned route.
+type OkBackend interface {
+	MatVec(m *Matrix, dst, x []float64)
+	MatVecT(m *Matrix, dst, x []float64)
+	AddOuterScaled(m *Matrix, alpha float64, a, b []float64)
+	Softmax(dst, src []float64)
+}
+
+func okForward(be OkBackend, m *Matrix, dst, x []float64) {
+	be.MatVec(m, dst, x)          // Backend method: clean
+	be.MatVecT(m, dst, x)         // Backend method: clean
+	be.AddOuterScaled(m, 1, x, x) // Backend method: clean
+	be.Softmax(dst, x)            // Backend.Softmax, not the free kernel: clean
+	notAMatrix{}.MatVec(dst, x)   // same name, different receiver type: clean
+}
+
+// okDirect is a deliberately fixed-to-ref site carrying the annotation.
+func okDirect(m *Matrix, dst, x []float64) {
+	//lint:allow tensor-backend fixture: kernel microbenchmark pinned to the raw loops
+	m.MatVec(dst, x)
+	//lint:allow tensor-backend fixture: evaluation path pinned to the ref softmax
+	Softmax(dst, x)
+}

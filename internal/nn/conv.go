@@ -43,6 +43,11 @@ type Layer interface {
 	// buffers (each exactly NumParams long): current values are copied in
 	// and the layer's storage is re-pointed at views of the buffers.
 	Bind(params, grads tensor.Vector)
+	// SetBackend points the layer's backend-routed kernels at b. Layers
+	// whose loops are not part of the tensor.Backend interface (Conv1D's
+	// taps, MaxPool1D) ignore it — they are backend-invariant by
+	// construction.
+	SetBackend(b tensor.Backend)
 }
 
 var (
@@ -100,6 +105,10 @@ func NewConv1D(inWidth, filters, kernel int, act Activation, rng *rand.Rand) *Co
 }
 
 func (c *Conv1D) outWidth() int { return c.inWidth - c.Kernel + 1 }
+
+// SetBackend implements Layer. The convolution's tap loops are not part of
+// the tensor.Backend kernel set, so every backend runs the same code here.
+func (c *Conv1D) SetBackend(tensor.Backend) {}
 
 // OutDim implements Layer.
 func (c *Conv1D) OutDim() int { return c.Filters * c.outWidth() }

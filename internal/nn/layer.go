@@ -40,12 +40,23 @@ type Dense struct {
 	B   tensor.Vector
 	Act Activation
 
+	// be is the tensor backend the matrix kernels dispatch through;
+	// constructors set it to tensor.Default() (ref), Model.SetBackend
+	// swaps it.
+	be tensor.Backend
+
 	// Scratch buffers reused across Forward/Backward calls. They hold the
 	// most recent forward pass, which Backward consumes.
 	in     tensor.Vector // last input (aliases caller data)
 	preAct tensor.Vector // W·x + b before activation
 	out    tensor.Vector // activated output
 	gradIn tensor.Vector // dL/dIn returned by Backward, reused per call
+
+	// Batched scratch (the GEMM-shaped minibatch path); see batch.go.
+	bIn     *tensor.Matrix // last input batch (aliases caller data)
+	bPre    tensor.Matrix  // X·Wᵀ + b before activation
+	bOut    tensor.Matrix  // activated output batch
+	bGradIn tensor.Matrix  // dL/dIn batch returned by BackwardBatch
 
 	// Gradient accumulators, matched elementwise to W and B.
 	GradW *tensor.Matrix
@@ -58,6 +69,7 @@ func NewDense(in, out int, act Activation, rng *rand.Rand) *Dense {
 		W:     tensor.NewMatrix(out, in),
 		B:     tensor.NewVector(out),
 		Act:   act,
+		be:    tensor.Default(),
 		GradW: tensor.NewMatrix(out, in),
 		GradB: tensor.NewVector(out),
 	}
@@ -67,6 +79,9 @@ func NewDense(in, out int, act Activation, rng *rand.Rand) *Dense {
 	d.gradIn = tensor.NewVector(in)
 	return d
 }
+
+// SetBackend implements Layer.
+func (d *Dense) SetBackend(b tensor.Backend) { d.be = b }
 
 // InDim returns the layer's input dimensionality.
 func (d *Dense) InDim() int { return d.W.Cols }
@@ -84,7 +99,7 @@ func (d *Dense) Forward(x tensor.Vector) tensor.Vector {
 		panic(fmt.Sprintf("nn: Dense.Forward input %d, want %d", len(x), d.W.Cols))
 	}
 	d.in = x
-	d.W.MatVec(d.preAct, x)
+	d.be.MatVec(d.W, d.preAct, x)
 	d.preAct.AddScaled(1, d.B)
 	switch d.Act {
 	case ActReLU:
@@ -116,8 +131,8 @@ func (d *Dense) Backward(gradOut tensor.Vector) tensor.Vector {
 		}
 	}
 	d.GradB.AddScaled(1, gradOut)
-	d.GradW.AddOuterScaled(1, gradOut, d.in)
-	d.W.MatVecT(d.gradIn, gradOut)
+	d.be.AddOuterScaled(d.GradW, 1, gradOut, d.in)
+	d.be.MatVecT(d.W, d.gradIn, gradOut)
 	return d.gradIn
 }
 
@@ -150,6 +165,7 @@ func (d *Dense) Clone() Layer {
 		W:     d.W.Clone(),
 		B:     d.B.Clone(),
 		Act:   d.Act,
+		be:    d.be,
 		GradW: tensor.NewMatrix(d.W.Rows, d.W.Cols),
 		GradB: tensor.NewVector(len(d.B)),
 	}

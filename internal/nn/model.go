@@ -83,6 +83,15 @@ type Model struct {
 	grads   tensor.Vector
 	offsets []int
 
+	// backend is the tensor backend training and evaluation dispatch
+	// through; NewModel starts every model on tensor.Default() (ref, the
+	// determinism oracle) and SetBackend swaps model and layers together.
+	backend tensor.Backend
+	// batch holds the layer views and scratch of the GEMM-shaped
+	// minibatch training path; nil when any layer cannot batch (see
+	// batch.go).
+	batch *batchState
+
 	// Scratch reused across training/evaluation calls so the steady-state
 	// hot path allocates nothing.
 	probs    tensor.Vector // softmax outputs
@@ -101,7 +110,7 @@ func NewModel(arch string, inDim, outDim int, rng *rand.Rand) (*Model, error) {
 	if inDim <= 0 || outDim <= 0 {
 		return nil, fmt.Errorf("nn: invalid model dims in=%d out=%d", inDim, outDim)
 	}
-	m := &Model{Spec: spec, nIn: inDim, nOut: outDim}
+	m := &Model{Spec: spec, nIn: inDim, nOut: outDim, backend: tensor.Default()}
 	prev := inDim
 	if spec.ConvFilters > 0 && spec.ConvKernel > 0 {
 		if inDim < spec.ConvKernel {
@@ -144,12 +153,26 @@ func (m *Model) bindFlat() {
 	}
 	m.probs = tensor.NewVector(m.nOut)
 	m.lossGrad = tensor.NewVector(m.nOut)
+	m.batch = buildBatchState(m.Layers)
 }
 
 // layerRange returns layer i's [start, end) slice bounds in the flat
 // buffers.
 func (m *Model) layerRange(i int) (int, int) {
 	return m.offsets[i], m.offsets[i] + m.Layers[i].NumParams()
+}
+
+// Backend returns the tensor backend the model currently trains on.
+func (m *Model) Backend() tensor.Backend { return m.backend }
+
+// SetBackend switches the model — and every layer — to backend b. Models
+// start on tensor.Default() ("ref"); switching is cheap and may happen
+// between training calls, but not concurrently with them.
+func (m *Model) SetBackend(b tensor.Backend) {
+	m.backend = b
+	for _, l := range m.Layers {
+		l.SetBackend(b)
+	}
 }
 
 // InDim returns the model input dimensionality.
@@ -196,12 +219,13 @@ func (m *Model) SetParameters(p tensor.Vector) error {
 // Clone returns a deep copy of the model sharing no storage: the clone gets
 // its own flat buffers and every cloned layer is rebound into them.
 func (m *Model) Clone() *Model {
-	c := &Model{Spec: m.Spec, nIn: m.nIn, nOut: m.nOut}
+	c := &Model{Spec: m.Spec, nIn: m.nIn, nOut: m.nOut, backend: m.backend}
 	c.Layers = make([]Layer, len(m.Layers))
 	for i, l := range m.Layers {
 		c.Layers[i] = l.Clone()
 	}
 	c.bindFlat()
+	c.SetBackend(m.backend)
 	return c
 }
 

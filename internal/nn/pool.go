@@ -56,6 +56,9 @@ func (p *MaxPool1D) Grads() []tensor.Vector { return nil }
 // ZeroGrad implements Layer.
 func (p *MaxPool1D) ZeroGrad() {}
 
+// SetBackend implements Layer (pooling has no backend-routed kernels).
+func (p *MaxPool1D) SetBackend(tensor.Backend) {}
+
 // ApplySGD implements Layer.
 func (p *MaxPool1D) ApplySGD(lr, clip float64) {}
 

@@ -40,17 +40,11 @@ type TrainConfig struct {
 // zeroing/zapplying gradients around batches.
 func (m *Model) lossAndGrads(s Sample) float64 {
 	logits := m.Forward(s.X)
-	tensor.Softmax(m.probs, logits)
-	p := m.probs[s.Label]
-	if p < 1e-12 {
-		p = 1e-12
-	}
-	loss := -math.Log(p)
-
-	// dL/dlogits = probs - onehot(label), built in the model-owned scratch
-	// so per-sample backprop allocates nothing.
-	copy(m.lossGrad, m.probs)
-	m.lossGrad[s.Label] -= 1
+	// Fused softmax + cross-entropy + dL/dlogits = probs - onehot(label),
+	// built in the model-owned scratch so per-sample backprop allocates
+	// nothing. The ref backend replicates the historical unfused sequence
+	// operation-for-operation.
+	loss := m.backend.SoftmaxXent(m.probs, m.lossGrad, logits, s.Label)
 	grad := m.lossGrad
 	for i := len(m.Layers) - 1; i >= 0; i-- {
 		grad = m.Layers[i].Backward(grad)
@@ -94,6 +88,12 @@ func (m *Model) Train(samples []Sample, cfg TrainConfig) (float64, error) {
 		order[i] = i
 	}
 
+	// The batched (GEMM-shaped) path processes each minibatch as
+	// matrix-matrix products when the backend asks for it and every layer
+	// supports it. Sample order, shuffling, prox, and the SGD step are
+	// identical either way; only the per-batch compute shape changes.
+	batched := m.backend.Batched() && m.batch != nil
+
 	var lastEpochLoss float64
 	for e := 0; e < cfg.Epochs; e++ {
 		m.trainRNG.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
@@ -104,8 +104,12 @@ func (m *Model) Train(samples []Sample, cfg TrainConfig) (float64, error) {
 				end = len(order)
 			}
 			m.grads.Zero()
-			for _, idx := range order[start:end] {
-				epochLoss += m.lossAndGrads(samples[idx])
+			if batched {
+				epochLoss += m.lossAndGradsBatch(samples, order[start:end])
+			} else {
+				for _, idx := range order[start:end] {
+					epochLoss += m.lossAndGrads(samples[idx])
+				}
 			}
 			if cfg.ProxMu > 0 {
 				// FedProx proximal term as one fused flat loop; mu is scaled
@@ -163,7 +167,7 @@ func (m *Model) Evaluate(samples []Sample) (accuracy, meanLoss float64) {
 	var total float64
 	for _, s := range samples {
 		logits := m.Forward(s.X)
-		tensor.Softmax(m.probs, logits)
+		m.backend.Softmax(m.probs, logits)
 		if logits.Argmax() == s.Label {
 			correct++
 		}

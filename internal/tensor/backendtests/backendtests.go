@@ -1,0 +1,511 @@
+// Package backendtests is the cross-backend conformance suite for
+// tensor.Backend implementations. Every registered backend must pass the
+// same table: golden kernel values, shape edge cases (empty, 1×N, N×1,
+// non-square), documented aliasing contracts, Softmax edge semantics, and
+// shape-mismatch panics. A separate cross-backend pass compares each
+// backend against "ref" on deterministic pseudo-random inputs under the
+// tolerance policy below.
+//
+// Tolerance policy: ref is the bit-exactness oracle — goldens and the
+// P=1≡P=8 determinism tests bind to its operation order. Other backends
+// may reorder floating-point sums (tiling, unrolling, fusion), so they
+// are held to agreement with ref within maxUlps last-place units or
+// absTol absolute, whichever admits the value. Each backend individually
+// must still be deterministic: the suite runs every kernel twice and
+// requires bit-identical results.
+package backendtests
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"floatfl/internal/tensor"
+)
+
+const (
+	// maxUlps bounds the acceptable units-in-the-last-place distance
+	// between a backend's result and ref's for reordered summations.
+	maxUlps = 1024
+	// absTol admits tiny absolute disagreement around zero, where ulp
+	// distance is meaningless (crossing zero costs ~2^62 ulps).
+	absTol = 1e-9
+)
+
+// ulpDiff returns the distance in representable float64 values between a
+// and b, or MaxUint64 if either is NaN or they differ in sign.
+func ulpDiff(a, b float64) uint64 {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.MaxUint64
+	}
+	if math.Signbit(a) != math.Signbit(b) {
+		if a == b { // +0 vs -0
+			return 0
+		}
+		return math.MaxUint64
+	}
+	ua, ub := math.Float64bits(a), math.Float64bits(b)
+	if ua > ub {
+		return ua - ub
+	}
+	return ub - ua
+}
+
+// close2 reports whether got agrees with want under the conformance
+// tolerance policy. NaN agrees only with NaN; infinities must match
+// exactly.
+func close2(got, want float64) bool {
+	if math.IsNaN(want) {
+		return math.IsNaN(got)
+	}
+	if got == want {
+		return true
+	}
+	if math.Abs(got-want) <= absTol {
+		return true
+	}
+	return ulpDiff(got, want) <= maxUlps
+}
+
+func checkVec(t *testing.T, name string, got, want tensor.Vector) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if !close2(got[i], want[i]) {
+			t.Errorf("%s: [%d] = %v, want %v (ulp %d)", name, i, got[i], want[i], ulpDiff(got[i], want[i]))
+		}
+	}
+}
+
+func checkScalar(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if !close2(got, want) {
+		t.Errorf("%s: got %v, want %v (ulp %d)", name, got, want, ulpDiff(got, want))
+	}
+}
+
+// Run exercises the full conformance table against b. Call it from a
+// per-backend subtest; it fans out into named sub-subtests.
+func Run(t *testing.T, b tensor.Backend) {
+	t.Run("VectorKernels", func(t *testing.T) { runVectorKernels(t, b) })
+	t.Run("MatVecKernels", func(t *testing.T) { runMatVecKernels(t, b) })
+	t.Run("MatMulKernels", func(t *testing.T) { runMatMulKernels(t, b) })
+	t.Run("Softmax", func(t *testing.T) { runSoftmax(t, b) })
+	t.Run("SoftmaxXent", func(t *testing.T) { runSoftmaxXent(t, b) })
+	t.Run("Aliasing", func(t *testing.T) { runAliasing(t, b) })
+	t.Run("ShapePanics", func(t *testing.T) { runShapePanics(t, b) })
+	t.Run("SelfDeterminism", func(t *testing.T) { runSelfDeterminism(t, b) })
+	t.Run("CrossBackendVsRef", func(t *testing.T) { runCrossBackend(t, b) })
+}
+
+func runVectorKernels(t *testing.T, b tensor.Backend) {
+	t.Run("Dot", func(t *testing.T) {
+		cases := []struct {
+			a, b tensor.Vector
+			want float64
+		}{
+			{tensor.Vector{}, tensor.Vector{}, 0},
+			{tensor.Vector{3}, tensor.Vector{-2}, -6},
+			{tensor.Vector{1, 2, 3}, tensor.Vector{4, 5, 6}, 32},
+			// Length 7 exercises unrolled-loop fringes (7 = 4+2+1).
+			{tensor.Vector{1, -1, 2, -2, 3, -3, 4}, tensor.Vector{1, 1, 1, 1, 1, 1, 1}, 4},
+		}
+		for _, tc := range cases {
+			checkScalar(t, "Dot", b.Dot(tc.a, tc.b), tc.want)
+		}
+	})
+	t.Run("AddScaled", func(t *testing.T) {
+		dst := tensor.Vector{1, 2, 3}
+		b.AddScaled(dst, 2, tensor.Vector{10, 20, 30})
+		checkVec(t, "AddScaled", dst, tensor.Vector{21, 42, 63})
+		empty := tensor.Vector{}
+		b.AddScaled(empty, 5, tensor.Vector{}) // must not panic
+	})
+	t.Run("ScaledDiff", func(t *testing.T) {
+		dst := tensor.NewVector(3)
+		b.ScaledDiff(dst, 0.5, tensor.Vector{4, 8, 12}, tensor.Vector{2, 4, 6})
+		checkVec(t, "ScaledDiff", dst, tensor.Vector{1, 2, 3})
+	})
+	t.Run("AddWeighted", func(t *testing.T) {
+		dst := tensor.Vector{1, 1}
+		b.AddWeighted(dst, []float64{2, -1}, []tensor.Vector{{1, 2}, {3, 4}})
+		checkVec(t, "AddWeighted", dst, tensor.Vector{0, 1})
+		b.AddWeighted(dst, nil, nil) // zero terms: no-op
+		checkVec(t, "AddWeighted/empty", dst, tensor.Vector{0, 1})
+	})
+}
+
+func runMatVecKernels(t *testing.T, b tensor.Backend) {
+	// m = [[1 2 3], [4 5 6]]  (2×3, non-square)
+	m := tensor.NewMatrix(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+
+	t.Run("MatVec", func(t *testing.T) {
+		dst := tensor.NewVector(2)
+		b.MatVec(m, dst, tensor.Vector{1, 0, -1})
+		checkVec(t, "MatVec", dst, tensor.Vector{-2, -2})
+	})
+	t.Run("MatVecT", func(t *testing.T) {
+		dst := tensor.NewVector(3)
+		b.MatVecT(m, dst, tensor.Vector{1, -1})
+		checkVec(t, "MatVecT", dst, tensor.Vector{-3, -3, -3})
+	})
+	t.Run("AddOuterScaled", func(t *testing.T) {
+		acc := tensor.NewMatrix(2, 3)
+		copy(acc.Data, []float64{1, 1, 1, 1, 1, 1})
+		b.AddOuterScaled(acc, 2, tensor.Vector{1, -1}, tensor.Vector{1, 2, 3})
+		checkVec(t, "AddOuterScaled", acc.Data, tensor.Vector{3, 5, 7, -1, -3, -5})
+	})
+	t.Run("RowAndColumnVectors", func(t *testing.T) {
+		// 1×N and N×1 shapes.
+		row := tensor.NewMatrix(1, 4)
+		copy(row.Data, []float64{1, 2, 3, 4})
+		d1 := tensor.NewVector(1)
+		b.MatVec(row, d1, tensor.Vector{1, 1, 1, 1})
+		checkVec(t, "MatVec/1xN", d1, tensor.Vector{10})
+
+		col := tensor.NewMatrix(4, 1)
+		copy(col.Data, []float64{1, 2, 3, 4})
+		d4 := tensor.NewVector(4)
+		b.MatVec(col, d4, tensor.Vector{2})
+		checkVec(t, "MatVec/Nx1", d4, tensor.Vector{2, 4, 6, 8})
+
+		dT := tensor.NewVector(1)
+		b.MatVecT(col, dT, tensor.Vector{1, 1, 1, 1})
+		checkVec(t, "MatVecT/Nx1", dT, tensor.Vector{10})
+	})
+}
+
+func runMatMulKernels(t *testing.T, b tensor.Backend) {
+	// a = [[1 2], [3 4], [5 6]] (3×2); w = [[1 0], [0 1], [1 1]] (3×2).
+	a := tensor.NewMatrix(3, 2)
+	copy(a.Data, []float64{1, 2, 3, 4, 5, 6})
+	w := tensor.NewMatrix(3, 2)
+	copy(w.Data, []float64{1, 0, 0, 1, 1, 1})
+
+	t.Run("MatMulNT", func(t *testing.T) {
+		// dst = a·wᵀ: 3×3.
+		dst := tensor.NewMatrix(3, 3)
+		b.MatMulNT(dst, a, w)
+		checkVec(t, "MatMulNT", dst.Data, tensor.Vector{1, 2, 3, 3, 4, 7, 5, 6, 11})
+	})
+	t.Run("MatMulNN", func(t *testing.T) {
+		// dst = a·m where m = [[1 2 0], [0 1 2]] (2×3); dst: 3×3.
+		m := tensor.NewMatrix(2, 3)
+		copy(m.Data, []float64{1, 2, 0, 0, 1, 2})
+		dst := tensor.NewMatrix(3, 3)
+		// Pre-fill to verify the kernel overwrites rather than accumulates.
+		dst.Data[0] = 99
+		b.MatMulNN(dst, a, m)
+		checkVec(t, "MatMulNN", dst.Data, tensor.Vector{1, 4, 4, 3, 10, 8, 5, 16, 12})
+	})
+	t.Run("AddMatMulTN", func(t *testing.T) {
+		// dst += aᵀ·w: 2×2 over shared dim 3.
+		dst := tensor.NewMatrix(2, 2)
+		copy(dst.Data, []float64{1, 0, 0, 1})
+		b.AddMatMulTN(dst, a, w)
+		// aᵀ·w = [[1+0+5, 0+3+5], [2+0+6, 0+4+6]] = [[6 8],[8 10]]
+		checkVec(t, "AddMatMulTN", dst.Data, tensor.Vector{7, 8, 8, 11})
+	})
+	t.Run("DegenerateShapes", func(t *testing.T) {
+		// 1×1 everywhere.
+		one := tensor.NewMatrix(1, 1)
+		one.Data[0] = 3
+		two := tensor.NewMatrix(1, 1)
+		two.Data[0] = -2
+		dst := tensor.NewMatrix(1, 1)
+		b.MatMulNT(dst, one, two)
+		checkScalar(t, "MatMulNT/1x1", dst.Data[0], -6)
+		b.MatMulNN(dst, one, two)
+		checkScalar(t, "MatMulNN/1x1", dst.Data[0], -6)
+		b.AddMatMulTN(dst, one, two)
+		checkScalar(t, "AddMatMulTN/1x1", dst.Data[0], -12)
+	})
+}
+
+func runSoftmax(t *testing.T, b tensor.Backend) {
+	t.Run("Basic", func(t *testing.T) {
+		dst := tensor.NewVector(3)
+		b.Softmax(dst, tensor.Vector{0, 0, 0})
+		checkVec(t, "Softmax/uniform", dst, tensor.Vector{1.0 / 3, 1.0 / 3, 1.0 / 3})
+
+		b.Softmax(dst, tensor.Vector{1, 2, 3})
+		sum := 0.0
+		for _, p := range dst {
+			sum += p
+		}
+		checkScalar(t, "Softmax/sum", sum, 1)
+		if !(dst[0] < dst[1] && dst[1] < dst[2]) {
+			t.Errorf("Softmax not monotone: %v", dst)
+		}
+	})
+	t.Run("SingleElement", func(t *testing.T) {
+		dst := tensor.NewVector(1)
+		b.Softmax(dst, tensor.Vector{-123.5})
+		checkVec(t, "Softmax/single", dst, tensor.Vector{1})
+	})
+	t.Run("Empty", func(t *testing.T) {
+		b.Softmax(tensor.Vector{}, tensor.Vector{}) // must not panic
+	})
+	t.Run("LargeMagnitudes", func(t *testing.T) {
+		// Without max-subtraction these overflow exp.
+		dst := tensor.NewVector(2)
+		b.Softmax(dst, tensor.Vector{1000, 1000})
+		checkVec(t, "Softmax/large", dst, tensor.Vector{0.5, 0.5})
+	})
+	t.Run("AllNegInf", func(t *testing.T) {
+		dst := tensor.NewVector(4)
+		b.Softmax(dst, tensor.Vector{math.Inf(-1), math.Inf(-1), math.Inf(-1), math.Inf(-1)})
+		checkVec(t, "Softmax/allneginf", dst, tensor.Vector{0.25, 0.25, 0.25, 0.25})
+	})
+	t.Run("PartialNegInf", func(t *testing.T) {
+		dst := tensor.NewVector(3)
+		b.Softmax(dst, tensor.Vector{math.Inf(-1), 0, math.Inf(-1)})
+		checkVec(t, "Softmax/partialneginf", dst, tensor.Vector{0, 1, 0})
+	})
+	t.Run("PosInf", func(t *testing.T) {
+		dst := tensor.NewVector(3)
+		b.Softmax(dst, tensor.Vector{0, math.Inf(1), 0})
+		checkVec(t, "Softmax/posinf", dst, tensor.Vector{0, 1, 0})
+		b.Softmax(dst, tensor.Vector{math.Inf(1), 5, math.Inf(1)})
+		checkVec(t, "Softmax/posinf-tie", dst, tensor.Vector{0.5, 0, 0.5})
+	})
+	t.Run("NaNPropagates", func(t *testing.T) {
+		dst := tensor.NewVector(3)
+		b.Softmax(dst, tensor.Vector{0, math.NaN(), 1})
+		checkVec(t, "Softmax/nan", dst, tensor.Vector{math.NaN(), math.NaN(), math.NaN()})
+		// NaN mixed with either infinity must still propagate, not hit the
+		// uniform or winner-takes-all branches.
+		b.Softmax(dst, tensor.Vector{math.Inf(-1), math.NaN(), math.Inf(-1)})
+		checkVec(t, "Softmax/nan+neginf", dst, tensor.Vector{math.NaN(), math.NaN(), math.NaN()})
+		b.Softmax(dst, tensor.Vector{math.Inf(1), math.NaN(), 0})
+		checkVec(t, "Softmax/nan+posinf", dst, tensor.Vector{math.NaN(), math.NaN(), math.NaN()})
+	})
+}
+
+func runSoftmaxXent(t *testing.T, b tensor.Backend) {
+	t.Run("Uniform", func(t *testing.T) {
+		n := 4
+		probs, grad := tensor.NewVector(n), tensor.NewVector(n)
+		loss := b.SoftmaxXent(probs, grad, tensor.Vector{0, 0, 0, 0}, 2)
+		checkScalar(t, "SoftmaxXent/loss", loss, math.Log(4))
+		checkVec(t, "SoftmaxXent/probs", probs, tensor.Vector{0.25, 0.25, 0.25, 0.25})
+		checkVec(t, "SoftmaxXent/grad", grad, tensor.Vector{0.25, 0.25, -0.75, 0.25})
+	})
+	t.Run("MatchesUnfused", func(t *testing.T) {
+		logits := tensor.Vector{0.3, -1.2, 2.5, 0.01, -0.4}
+		ref := tensor.Default()
+		wantP, wantG := tensor.NewVector(5), tensor.NewVector(5)
+		wantLoss := ref.SoftmaxXent(wantP, wantG, logits, 3)
+
+		probs, grad := tensor.NewVector(5), tensor.NewVector(5)
+		loss := b.SoftmaxXent(probs, grad, logits.Clone(), 3)
+		checkScalar(t, "SoftmaxXent/fused loss", loss, wantLoss)
+		checkVec(t, "SoftmaxXent/fused probs", probs, wantP)
+		checkVec(t, "SoftmaxXent/fused grad", grad, wantG)
+	})
+	t.Run("VanishingProbability", func(t *testing.T) {
+		// label probability underflows to 0: loss must clamp at -log(1e-12),
+		// not return +Inf.
+		probs, grad := tensor.NewVector(2), tensor.NewVector(2)
+		loss := b.SoftmaxXent(probs, grad, tensor.Vector{0, 10000}, 0)
+		checkScalar(t, "SoftmaxXent/clamped loss", loss, -math.Log(1e-12))
+		if math.IsInf(loss, 1) {
+			t.Errorf("SoftmaxXent: loss overflowed to +Inf")
+		}
+	})
+	t.Run("AllNegInf", func(t *testing.T) {
+		// Degenerate logits take the uniform branch; the fused kernel must
+		// agree with ref's composition of Softmax + copy + subtract.
+		n := 3
+		probs, grad := tensor.NewVector(n), tensor.NewVector(n)
+		inf := math.Inf(-1)
+		loss := b.SoftmaxXent(probs, grad, tensor.Vector{inf, inf, inf}, 1)
+		checkScalar(t, "SoftmaxXent/allneginf loss", loss, -math.Log(1.0/3))
+		checkVec(t, "SoftmaxXent/allneginf probs", probs, tensor.Vector{1.0 / 3, 1.0 / 3, 1.0 / 3})
+		checkVec(t, "SoftmaxXent/allneginf grad", grad, tensor.Vector{1.0 / 3, 1.0/3 - 1, 1.0 / 3})
+	})
+}
+
+func runAliasing(t *testing.T, b tensor.Backend) {
+	t.Run("SoftmaxDstAliasesSrc", func(t *testing.T) {
+		v := tensor.Vector{1, 2, 3}
+		want := tensor.NewVector(3)
+		b.Softmax(want, v.Clone())
+		b.Softmax(v, v)
+		checkVec(t, "Softmax/dst==src", v, want)
+	})
+	t.Run("SoftmaxXentProbsAliasLogits", func(t *testing.T) {
+		logits := tensor.Vector{0.5, -0.5, 1.5}
+		wantP, wantG := tensor.NewVector(3), tensor.NewVector(3)
+		wantLoss := b.SoftmaxXent(wantP, wantG, logits.Clone(), 0)
+
+		v := logits.Clone()
+		grad := tensor.NewVector(3)
+		loss := b.SoftmaxXent(v, grad, v, 0)
+		checkScalar(t, "SoftmaxXent/probs==logits loss", loss, wantLoss)
+		checkVec(t, "SoftmaxXent/probs==logits probs", v, wantP)
+		checkVec(t, "SoftmaxXent/probs==logits grad", grad, wantG)
+	})
+	t.Run("ScaledDiffDstAliasesA", func(t *testing.T) {
+		a := tensor.Vector{4, 8}
+		b.ScaledDiff(a, 0.5, a, tensor.Vector{2, 4})
+		checkVec(t, "ScaledDiff/dst==a", a, tensor.Vector{1, 2})
+	})
+	t.Run("ScaledDiffDstAliasesB", func(t *testing.T) {
+		bb := tensor.Vector{2, 4}
+		b.ScaledDiff(bb, 0.5, tensor.Vector{4, 8}, bb)
+		checkVec(t, "ScaledDiff/dst==b", bb, tensor.Vector{1, 2})
+	})
+}
+
+func runShapePanics(t *testing.T, b tensor.Backend) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if r := recover(); r == nil {
+				t.Errorf("%s: shape mismatch did not panic", name)
+			} else if msg, ok := r.(string); ok && !strings.Contains(msg, "tensor:") {
+				t.Errorf("%s: panic %q lacks tensor: prefix", name, msg)
+			}
+		}()
+		f()
+	}
+	m23 := tensor.NewMatrix(2, 3)
+	m22 := tensor.NewMatrix(2, 2)
+	mustPanic("MatMulNT", func() { b.MatMulNT(m22, m23, m22) })
+	mustPanic("MatMulNN", func() { b.MatMulNN(m22, m23, m23) })
+	mustPanic("AddMatMulTN", func() { b.AddMatMulTN(m23, m23, m22) })
+	mustPanic("SoftmaxXent/len", func() {
+		b.SoftmaxXent(tensor.NewVector(2), tensor.NewVector(3), tensor.NewVector(3), 0)
+	})
+	mustPanic("SoftmaxXent/label", func() {
+		b.SoftmaxXent(tensor.NewVector(3), tensor.NewVector(3), tensor.NewVector(3), 3)
+	})
+}
+
+// runSelfDeterminism runs each kernel twice on identical inputs and
+// requires bit-identical output — every backend must be deterministic for
+// a fixed binary, whatever its summation order.
+func runSelfDeterminism(t *testing.T, b tensor.Backend) {
+	rng := rand.New(rand.NewSource(7))
+	const m, k, n = 5, 7, 3
+	a := randMatrix(rng, m, k)
+	bt := randMatrix(rng, n, k)
+	run := func() tensor.Vector {
+		dst := tensor.NewMatrix(m, n)
+		b.MatMulNT(dst, a, bt)
+		x := randVecFrom(rand.New(rand.NewSource(9)), k)
+		mv := tensor.NewVector(m)
+		b.MatVec(a, mv, x)
+		sm := tensor.NewVector(k)
+		b.Softmax(sm, x)
+		out := append(tensor.Vector{}, dst.Data...)
+		out = append(out, mv...)
+		out = append(out, sm...)
+		return out
+	}
+	first, second := run(), run()
+	for i := range first {
+		if math.Float64bits(first[i]) != math.Float64bits(second[i]) {
+			t.Fatalf("backend %q is nondeterministic at output %d: %v vs %v",
+				b.Name(), i, first[i], second[i])
+		}
+	}
+}
+
+// runCrossBackend compares b against ref on deterministic pseudo-random
+// inputs over sizes chosen to hit tiled/unrolled fringes (odd and even,
+// below and above block sizes).
+func runCrossBackend(t *testing.T, b tensor.Backend) {
+	ref := tensor.Default()
+	if b.Name() == ref.Name() {
+		t.Skip("ref is the oracle")
+	}
+	rng := rand.New(rand.NewSource(1))
+	sizes := []struct{ m, k, n int }{
+		{1, 1, 1}, {2, 2, 2}, {3, 5, 2}, {4, 4, 4}, {5, 7, 3},
+		{8, 8, 8}, {9, 13, 7}, {16, 17, 15}, {1, 32, 1}, {31, 1, 31},
+	}
+	for _, sz := range sizes {
+		a := randMatrix(rng, sz.m, sz.k)
+		w := randMatrix(rng, sz.n, sz.k)
+		x := randVecFrom(rng, sz.k)
+		y := randVecFrom(rng, sz.m)
+
+		// MatVec / MatVecT / AddOuterScaled.
+		wantV, gotV := tensor.NewVector(sz.m), tensor.NewVector(sz.m)
+		ref.MatVec(a, wantV, x)
+		b.MatVec(a, gotV, x)
+		checkVec(t, "cross/MatVec", gotV, wantV)
+
+		wantT, gotT := tensor.NewVector(sz.k), tensor.NewVector(sz.k)
+		ref.MatVecT(a, wantT, y)
+		b.MatVecT(a, gotT, y)
+		checkVec(t, "cross/MatVecT", gotT, wantT)
+
+		wantM, gotM := a.Clone(), a.Clone()
+		ref.AddOuterScaled(wantM, 0.3, y, x)
+		b.AddOuterScaled(gotM, 0.3, y, x)
+		checkVec(t, "cross/AddOuterScaled", gotM.Data, wantM.Data)
+
+		// GEMM shapes.
+		wantNT, gotNT := tensor.NewMatrix(sz.m, sz.n), tensor.NewMatrix(sz.m, sz.n)
+		ref.MatMulNT(wantNT, a, w)
+		b.MatMulNT(gotNT, a, w)
+		checkVec(t, "cross/MatMulNT", gotNT.Data, wantNT.Data)
+
+		bm := randMatrix(rng, sz.k, sz.n)
+		wantNN, gotNN := tensor.NewMatrix(sz.m, sz.n), tensor.NewMatrix(sz.m, sz.n)
+		ref.MatMulNN(wantNN, a, bm)
+		b.MatMulNN(gotNN, a, bm)
+		checkVec(t, "cross/MatMulNN", gotNN.Data, wantNN.Data)
+
+		am := randMatrix(rng, sz.k, sz.m)
+		wantTN, gotTN := tensor.NewMatrix(sz.m, sz.n), tensor.NewMatrix(sz.m, sz.n)
+		ref.AddMatMulTN(wantTN, am, bm)
+		b.AddMatMulTN(gotTN, am, bm)
+		checkVec(t, "cross/AddMatMulTN", gotTN.Data, wantTN.Data)
+
+		// Softmax + fused xent on the same logits.
+		logits := randVecFrom(rng, sz.k)
+		for i := range logits {
+			logits[i] *= 5 // spread to make exp() nontrivial
+		}
+		wantSM, gotSM := tensor.NewVector(sz.k), tensor.NewVector(sz.k)
+		ref.Softmax(wantSM, logits)
+		b.Softmax(gotSM, logits)
+		checkVec(t, "cross/Softmax", gotSM, wantSM)
+
+		label := sz.k / 2
+		wp, wg := tensor.NewVector(sz.k), tensor.NewVector(sz.k)
+		gp, gg := tensor.NewVector(sz.k), tensor.NewVector(sz.k)
+		wantLoss := ref.SoftmaxXent(wp, wg, logits, label)
+		gotLoss := b.SoftmaxXent(gp, gg, logits, label)
+		checkScalar(t, "cross/SoftmaxXent loss", gotLoss, wantLoss)
+		checkVec(t, "cross/SoftmaxXent probs", gp, wp)
+		checkVec(t, "cross/SoftmaxXent grad", gg, wg)
+
+		// Vector kernels.
+		checkScalar(t, "cross/Dot", b.Dot(x, x), ref.Dot(x, x))
+	}
+}
+
+func randMatrix(rng *rand.Rand, rows, cols int) *tensor.Matrix {
+	m := tensor.NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func randVecFrom(rng *rand.Rand, n int) tensor.Vector {
+	v := tensor.NewVector(n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}

@@ -149,6 +149,22 @@ func (v Vector) Argmax() int {
 
 // Softmax writes the softmax of src into dst (which may alias src).
 // It uses the max-subtraction trick for numerical stability.
+//
+// Edge-case semantics, shared by every backend and pinned by regression
+// tests:
+//
+//   - empty src: no-op.
+//   - single element: dst[0] = 1 exactly, whatever the input (including
+//     -Inf: a one-way choice has probability one).
+//   - a row whose maximum is -Inf (every element -Inf): the uniform
+//     distribution 1/n — the limit of softmax as all logits sink together,
+//     and the only answer that keeps a downstream cross-entropy finite.
+//   - any NaN input: every output is NaN (deliberate propagation; a NaN
+//     logit is a training bug the aggregator's finite-ness guard must see,
+//     not a value to launder into a probability).
+//   - a row containing +Inf: the +Inf entries split all the mass evenly
+//     and every finite entry gets 0 — the limit distribution, instead of
+//     the exp(Inf-Inf)=NaN the naive loop would produce.
 func Softmax(dst, src Vector) {
 	if len(dst) != len(src) {
 		panic(fmt.Sprintf("tensor: Softmax length mismatch %d vs %d", len(dst), len(src)))
@@ -161,6 +177,43 @@ func Softmax(dst, src Vector) {
 		if x > max {
 			max = x
 		}
+	}
+	if math.IsInf(max, -1) {
+		// All-(-Inf) row: exp(-Inf - -Inf) would be NaN. Off the hot path
+		// (the max scan resolved to -Inf), so scan for NaN to preserve
+		// propagation, then fall back to uniform.
+		for _, x := range src {
+			if math.IsNaN(x) {
+				dst.Fill(math.NaN())
+				return
+			}
+		}
+		dst.Fill(1 / float64(len(dst)))
+		return
+	}
+	if math.IsInf(max, 1) {
+		// +Inf logit(s): exp(+Inf - +Inf) would be NaN. Also off the hot
+		// path; NaN still poisons the row, then the +Inf entries split the
+		// mass (ties included) and finite entries get zero.
+		winners := 0
+		for _, x := range src {
+			if math.IsNaN(x) {
+				dst.Fill(math.NaN())
+				return
+			}
+			if math.IsInf(x, 1) {
+				winners++
+			}
+		}
+		p := 1 / float64(winners)
+		for i, x := range src {
+			if math.IsInf(x, 1) {
+				dst[i] = p
+			} else {
+				dst[i] = 0
+			}
+		}
+		return
 	}
 	var sum float64
 	for i, x := range src {

@@ -211,6 +211,65 @@ func TestSoftmaxInPlace(t *testing.T) {
 	}
 }
 
+// TestSoftmaxEdgeCases pins the documented degenerate-input semantics:
+// empty input is a no-op, a single element always yields probability 1,
+// an all-(-Inf) row yields the uniform distribution (the historical 0/0
+// behavior produced NaN), and any NaN input poisons the whole output —
+// including when it hides among -Inf entries.
+func TestSoftmaxEdgeCases(t *testing.T) {
+	t.Run("Empty", func(t *testing.T) {
+		Softmax(Vector{}, Vector{}) // must not panic
+	})
+	t.Run("SingleElement", func(t *testing.T) {
+		for _, x := range []float64{0, -1e300, 1e300, math.Inf(-1)} {
+			dst := NewVector(1)
+			Softmax(dst, Vector{x})
+			if dst[0] != 1 {
+				t.Errorf("Softmax([%v]) = %v, want [1]", x, dst)
+			}
+		}
+	})
+	t.Run("AllNegInf", func(t *testing.T) {
+		inf := math.Inf(-1)
+		dst := NewVector(4)
+		dst.Fill(99) // stale values must be overwritten
+		Softmax(dst, Vector{inf, inf, inf, inf})
+		for i, p := range dst {
+			if !almostEqual(p, 0.25, 1e-15) {
+				t.Fatalf("Softmax(all -Inf)[%d] = %v, want 0.25 (full: %v)", i, p, dst)
+			}
+		}
+	})
+	t.Run("NaNPropagates", func(t *testing.T) {
+		cases := []Vector{
+			{math.NaN(), 0, 1},
+			{0, math.NaN(), 1},
+			{0, 1, math.NaN()},
+			{math.Inf(-1), math.NaN(), math.Inf(-1)}, // NaN among -Inf: not uniform
+			{math.NaN()},
+		}
+		for _, src := range cases {
+			dst := NewVector(len(src))
+			Softmax(dst, src)
+			for i, p := range dst {
+				if !math.IsNaN(p) {
+					t.Fatalf("Softmax(%v)[%d] = %v, want NaN (full: %v)", src, i, p, dst)
+				}
+			}
+		}
+	})
+	t.Run("PosInfDominates", func(t *testing.T) {
+		// A single +Inf logit takes all the mass: exp(Inf-Inf) is NaN only
+		// for the ties, so pin the single-winner case that training can hit
+		// after divergence.
+		dst := NewVector(3)
+		Softmax(dst, Vector{0, math.Inf(1), 0})
+		if !(dst[1] == 1 && dst[0] == 0 && dst[2] == 0) {
+			t.Fatalf("Softmax([0 +Inf 0]) = %v, want [0 1 0]", dst)
+		}
+	})
+}
+
 func TestMatVec(t *testing.T) {
 	m := NewMatrix(2, 3)
 	copy(m.Data, Vector{1, 2, 3, 4, 5, 6})

@@ -242,7 +242,7 @@ func trainStep(ds *SplitDataset, parties []*Party, coord *Coordinator, batch []i
 		}
 
 		logits := coord.Top.Forward(joint)
-		tensor.Softmax(probs, logits)
+		tensor.Default().Softmax(probs, logits)
 		grad := scratch.lossGrad
 		copy(grad, probs)
 		grad[ds.Labels[idx]] -= 1
