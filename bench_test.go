@@ -26,6 +26,7 @@ import (
 	"floatfl/internal/nn"
 	"floatfl/internal/obs"
 	"floatfl/internal/opt"
+	"floatfl/internal/population"
 	"floatfl/internal/rl"
 	"floatfl/internal/selection"
 	"floatfl/internal/tensor"
@@ -142,6 +143,58 @@ func BenchmarkRoundParallel(b *testing.B) {
 // softmax+xent). The ratio to the ref variants is the kernel speedup the
 // committed BENCH_*.json artifact records. Named so CI's
 // /BenchmarkRoundParallel/ alloc gate keeps matching only the ref run.
+// benchRoundsLazy is benchRounds over a lazy (provider-backed) population
+// of the same shape, with a cache smaller than the population so eviction
+// and re-derivation are on the clock. CI gates its allocs/op alongside the
+// eager parallel round so the lazy seam can't quietly regress the round
+// hot path.
+func benchRoundsLazy(b *testing.B, parallelism int) {
+	b.Helper()
+	cfg := fl.Config{
+		Arch:            "resnet34",
+		Rounds:          4,
+		ClientsPerRound: 12,
+		Epochs:          2,
+		BatchSize:       16,
+		LR:              0.1,
+		EvalEvery:       4,
+		Seed:            17,
+		Parallelism:     parallelism,
+		Backend:         "ref",
+		EvalClients:     12,
+		Metrics:         obs.NewRegistry(),
+		Tracer:          obs.NewTracer(),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p, err := population.NewLazy(population.Config{
+			Dataset: "femnist", Clients: 24, Alpha: 0.1, Seed: 17,
+			Scenario: trace.ScenarioDynamic, CacheClients: 8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Instrument(cfg.Metrics)
+		b.StartTimer()
+		if _, err := fl.RunSyncPop(p, selection.NewRandom(17), fl.NoOpController{}, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoundLazyParallel is the lazy-population counterpart of
+// BenchmarkRoundParallel: same round shape, state derived through the
+// provider caches instead of preallocated slices.
+func BenchmarkRoundLazyParallel(b *testing.B) {
+	par := runtime.NumCPU()
+	if par < 4 {
+		par = 4
+	}
+	benchRoundsLazy(b, par)
+}
+
 func BenchmarkRoundFastSequential(b *testing.B) { benchRounds(b, 1, "fast") }
 
 func BenchmarkRoundFastParallel(b *testing.B) {

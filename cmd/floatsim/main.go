@@ -67,6 +67,9 @@ func main() {
 		seed       = flag.Int64("seed", 0, "override RNG seed")
 		parallel   = flag.Int("parallel", 0, "client-execution workers per round (0 = all CPU cores; results are identical for any value)")
 		backend    = flag.String("backend", "ref", "tensor backend for local training: ref (bit-stable determinism oracle) | fast (blocked/tiled kernels)")
+		lazy       = flag.Bool("lazy", false, "derive client state lazily from (seed, clientID) instead of materializing the population; auto-enabled at -clients >= 50000")
+		cacheSize  = flag.Int("cache-clients", 4096, "lazy mode: bound on cached (unpinned) client states; round memory is O(cache + per-round)")
+		evalCap    = flag.Int("eval-clients", 0, "cap the final per-client evaluation sweep (0 = evaluate everyone)")
 		saveAgent  = flag.String("save-agent", "", "write the FLOAT agent's Q-table to this file")
 		logPath    = flag.String("log", "", "write a JSONL training log to this file (analyze with floatreport)")
 		metricsOut = flag.String("metrics-out", "", "write the end-of-run metrics snapshot (text exposition) to this file ('-' = stdout)")
@@ -99,6 +102,21 @@ func main() {
 		sc.Parallelism = *parallel
 	}
 	sc.Backend = *backend
+	// Huge populations are infeasible to materialize; switch to lazy
+	// derivation automatically unless the user explicitly said -lazy=false.
+	lazySet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "lazy" {
+			lazySet = true
+		}
+	})
+	if !lazySet && sc.Clients >= 50_000 {
+		*lazy = true
+		fmt.Fprintf(os.Stderr, "floatsim: %d clients — enabling lazy population (override with -lazy=false)\n", sc.Clients)
+	}
+	sc.Lazy = *lazy
+	sc.CacheClients = *cacheSize
+	sc.EvalClients = *evalCap
 	if *metricsOut != "" {
 		sc.Metrics = obs.NewRegistry()
 	}

@@ -1,0 +1,136 @@
+package device
+
+import (
+	"fmt"
+	"math/rand"
+
+	"floatfl/internal/data"
+	"floatfl/internal/trace"
+	"floatfl/internal/wset"
+)
+
+// normalizePopulation applies NewPopulation's defaulting rules so lazy and
+// eager derivation agree on the effective 5G share.
+func normalizePopulation(cfg PopulationConfig) PopulationConfig {
+	if cfg.FiveGShare <= 0 {
+		cfg.FiveGShare = 0.3
+	}
+	return cfg
+}
+
+// DeriveClient derives client id's device state purely from (cfg.Seed, id):
+// network kind, compute profile, and the three trace processes, all seeded
+// from the client's private stream (data.ClientSeed). Like the data-side
+// derivation it is order-independent, unlike the sequential single-stream
+// NewPopulation.
+func DeriveClient(cfg PopulationConfig, id int) *Client {
+	cfg = normalizePopulation(cfg)
+	rng := rand.New(rand.NewSource(data.ClientSeed(cfg.Seed, int64(id))))
+	kind := trace.Net4G
+	if rng.Float64() < cfg.FiveGShare {
+		kind = trace.Net5G
+	}
+	return &Client{
+		ID:      id,
+		Compute: trace.SampleComputeProfile(rng),
+		NetKind: kind,
+		Net:     trace.NewBandwidthTrace(kind, rng.Int63()),
+		Avail:   trace.NewAvailabilityTrace(trace.AvailabilityConfig{Seed: rng.Int63()}),
+		Interf:  trace.NewInterference(cfg.Scenario, rng.Int63()),
+	}
+}
+
+// Provider derives device clients on demand and keeps a bounded LRU
+// working set resident. Device state is the one mutable piece of a client
+// (training drains its battery), so eviction persists the availability
+// trace's drain log and re-derivation replays it — an evicted-and-rederived
+// client is bit-identical to one that stayed resident. The drain-log store
+// grows with the number of *distinct clients that ever trained*, a compact
+// event list each, not with the population.
+//
+// Like the data provider, all access is confined to the engines'
+// single-threaded passes, making cache counters deterministic.
+type Provider struct {
+	cfg   PopulationConfig
+	cache *wset.Cache[int, *Client]
+	// drainLogs holds the battery history of evicted clients that trained.
+	drainLogs map[int][]trace.DrainEvent
+}
+
+// NewProvider constructs a lazy device provider. cacheClients bounds the
+// unpinned resident working set (≤ 0 defaults to 4096).
+func NewProvider(cfg PopulationConfig, cacheClients int) (*Provider, error) {
+	if cfg.Clients <= 0 {
+		return nil, fmt.Errorf("device: provider needs positive client count, got %d", cfg.Clients)
+	}
+	if cacheClients <= 0 {
+		cacheClients = 4096
+	}
+	p := &Provider{
+		cfg:       normalizePopulation(cfg),
+		drainLogs: make(map[int][]trace.DrainEvent),
+	}
+	p.cache = wset.New[int, *Client](cacheClients, func(id int, c *Client) {
+		if log := c.Avail.DrainLog(); log != nil {
+			p.drainLogs[id] = log
+		}
+	})
+	return p, nil
+}
+
+// NumClients returns the population size.
+func (p *Provider) NumClients() int { return p.cfg.Clients }
+
+// Client returns client id, deriving it on a cache miss and replaying any
+// drain log captured when it was last evicted.
+func (p *Provider) Client(id int) *Client {
+	if c, ok := p.cache.Get(id); ok {
+		return c
+	}
+	c := DeriveClient(p.cfg, id)
+	if log, ok := p.drainLogs[id]; ok {
+		c.Avail.ReplayDrains(log)
+	}
+	p.cache.Add(id, c)
+	return c
+}
+
+// Acquire returns client id pinned against eviction until the matching
+// Release. The engines pin every dispatched client for its round: workers
+// mutate the client's traces (battery drain), which must land on the same
+// instance the collect pass releases.
+func (p *Provider) Acquire(id int) *Client {
+	c := p.Client(id)
+	p.cache.Pin(id)
+	return c
+}
+
+// Release drops one pin reference on client id.
+func (p *Provider) Release(id int) { p.cache.Unpin(id) }
+
+// EstimateClean derives client id ephemerally — without touching the cache
+// or drain store — and returns its clean response-time estimate for w.
+// Used by deadline auto-derivation, which samples the population before
+// any client has mutable state.
+func (p *Provider) EstimateClean(id int, w WorkSpec) float64 {
+	return EstimateCleanResponseSeconds(DeriveClient(p.cfg, id), w)
+}
+
+// Stats returns the working-set cache counters.
+func (p *Provider) Stats() wset.Stats { return p.cache.Stats() }
+
+// Materialize eagerly derives the whole population — the adapter for dense
+// []*Client consumers and the oracle for order-independence tests. It
+// bypasses the cache; any previously captured drain logs are replayed so
+// the materialized clients carry the same history.
+func (p *Provider) Materialize() []*Client {
+	out := make([]*Client, p.cfg.Clients)
+	for i := range out {
+		c := DeriveClient(p.cfg, i)
+		if log, ok := p.drainLogs[i]; ok {
+			c.Avail.ReplayDrains(log)
+		}
+		out[i] = c
+	}
+	return out
+}

@@ -46,6 +46,18 @@ type Scale struct {
 	// Backend selects the tensor backend for local training ("ref" |
 	// "fast"; empty = "ref"). Published figures and goldens bind to "ref".
 	Backend string
+	// Lazy derives client state on demand from (seed, clientID) instead of
+	// materializing the whole population up front, bounding memory to the
+	// working-set cache plus the per-round selection — the only feasible
+	// mode at million-client scale. Requires a lazy-capable selector (all
+	// built-ins qualify).
+	Lazy bool
+	// CacheClients bounds the lazy working-set caches (<= 0 defaults to
+	// 4096). Ignored when Lazy is false.
+	CacheClients int
+	// EvalClients caps the final per-client evaluation sweep (<= 0
+	// evaluates everyone — the classic behavior, infeasible at scale).
+	EvalClients int
 }
 
 // Quick is a CI-sized scale that preserves the figures' shapes.

@@ -7,6 +7,7 @@ import (
 	"floatfl/internal/device"
 	"floatfl/internal/fl"
 	"floatfl/internal/metrics"
+	"floatfl/internal/population"
 	"floatfl/internal/trace"
 )
 
@@ -277,17 +278,6 @@ func runWith(sc Scale, spec RunSpec, ctrl fl.Controller) (*fl.Result, error) {
 		alpha = 0.1
 	}
 	seed := sc.Seed + spec.SeedOffset
-	fedData, err := generateFederation(spec.Dataset, sc.Clients, alpha, seed)
-	if err != nil {
-		return nil, err
-	}
-	pop, err := device.NewPopulation(device.PopulationConfig{
-		Clients: sc.Clients, Scenario: spec.Scenario, Seed: seed,
-		FiveGShare: spec.fiveGShare(),
-	})
-	if err != nil {
-		return nil, err
-	}
 	arch := spec.Arch
 	if arch == "" {
 		arch = archFor(spec.Dataset)
@@ -306,6 +296,7 @@ func runWith(sc Scale, spec RunSpec, ctrl fl.Controller) (*fl.Result, error) {
 		BufferK:            sc.AsyncBuffer,
 		Parallelism:        sc.Parallelism,
 		Backend:            sc.Backend,
+		EvalClients:        sc.EvalClients,
 		Logger:             spec.Logger,
 		Metrics:            sc.Metrics,
 		Tracer:             sc.Tracer,
@@ -313,14 +304,47 @@ func runWith(sc Scale, spec RunSpec, ctrl fl.Controller) (*fl.Result, error) {
 	if spec.Algo == "fedprox" {
 		cfg.ProxMu = 0.01
 	}
+	var p *population.Population
+	if sc.Lazy {
+		var err error
+		p, err = population.NewLazy(population.Config{
+			Dataset:      spec.Dataset,
+			Clients:      sc.Clients,
+			Alpha:        alpha,
+			Seed:         seed,
+			Scenario:     spec.Scenario,
+			FiveGShare:   spec.fiveGShare(),
+			CacheClients: sc.CacheClients,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.Instrument(sc.Metrics)
+	} else {
+		fedData, err := generateFederation(spec.Dataset, sc.Clients, alpha, seed)
+		if err != nil {
+			return nil, err
+		}
+		pop, err := device.NewPopulation(device.PopulationConfig{
+			Clients: sc.Clients, Scenario: spec.Scenario, Seed: seed,
+			FiveGShare: spec.fiveGShare(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		p, err = population.WrapEager(fedData, pop)
+		if err != nil {
+			return nil, err
+		}
+	}
 	if spec.Algo == "fedbuff" {
-		return fl.RunAsync(fedData, pop, ctrl, cfg)
+		return fl.RunAsyncPop(p, ctrl, cfg)
 	}
 	sel, err := selectorFor(spec.Algo, seed)
 	if err != nil {
 		return nil, err
 	}
-	return fl.RunSync(fedData, pop, sel, ctrl, cfg)
+	return fl.RunSyncPop(p, sel, ctrl, cfg)
 }
 
 // fiveGShare lets network-stress specs force a 4G-only population.

@@ -12,12 +12,20 @@ import (
 	"floatfl/internal/nn"
 	"floatfl/internal/obs"
 	"floatfl/internal/opt"
+	"floatfl/internal/population"
+	"floatfl/internal/selection"
 	"floatfl/internal/tensor"
 )
 
 // asyncTask is one in-flight client execution in the FedBuff simulation.
+// The client pointer and shard slices are pinned at launch and released
+// when the task's barrier event is delivered (or in the end-of-run drain),
+// so eviction can never invalidate an in-flight task.
 type asyncTask struct {
 	clientID     int
+	client       *device.Client
+	train        []nn.Sample
+	localTest    []nn.Sample
 	startVersion int
 	finishAt     float64
 	outcome      device.Outcome
@@ -41,14 +49,16 @@ func (h *taskHeap) Pop() interface{} {
 // asyncTrainJob is one buffered local-training job awaiting the next
 // aggregation barrier. Everything it needs is captured at pop time (the
 // version snapshot it trains against, the version used as its seed round,
-// its staleness discount), so the job is a pure function and can run on
-// any worker.
+// its staleness discount, the still-pinned shard slices), so the job is a
+// pure function and can run on any worker.
 type asyncTrainJob struct {
 	clientID    int
 	tech        opt.Technique
 	round       int // model version at pop time; seeds the client's RNG streams
 	staleness   int
 	startParams tensor.Vector
+	train       []nn.Sample
+	localTest   []nn.Sample
 
 	lt  localTrainResult
 	err error
@@ -58,10 +68,12 @@ type asyncTrainJob struct {
 // feedback and logging for all tasks popped since the previous barrier are
 // delivered in pop order at the barrier, after the batch's training jobs
 // have finished — keeping both single-threaded and giving every
-// Parallelism the same delivery schedule.
+// Parallelism the same delivery schedule. The client pin taken at launch
+// is released right after the event is delivered.
 type asyncEvent struct {
 	version  int
 	clientID int
+	client   *device.Client
 	tech     opt.Technique
 	out      device.Outcome
 	trainIdx int // index into the pending job batch, -1 when the task produced no update
@@ -83,12 +95,31 @@ func evictStaleVersion(versions map[int]tensor.Vector, version, cap int) {
 	delete(versions, version-cap-1)
 }
 
-// RunAsync executes FedBuff: Concurrency clients train simultaneously and
-// asynchronously against the model version they started from; completed
-// updates enter a buffer and every BufferK arrivals are aggregated with
-// staleness-discounted weights. FedBuff has no hard round deadline — tasks
-// run until a generous timeout — which is why it tolerates dropouts but
-// burns far more resources than synchronous FL (Fig 2b, Fig 12).
+// RunAsync executes FedBuff over the classic dense federation/population
+// pair. It is a thin wrapper over RunAsyncPop with an eager population —
+// bit-identical to the historical engine (the committed goldens pin this).
+func RunAsync(fed *data.Federation, pop []*device.Client, ctrl Controller, cfg Config) (*Result, error) {
+	c := cfg.withDefaults()
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	if len(pop) == 0 {
+		return nil, fmt.Errorf("fl: population is empty")
+	}
+	p, err := population.WrapEager(fed, pop)
+	if err != nil {
+		return nil, err
+	}
+	return RunAsyncPop(p, ctrl, cfg)
+}
+
+// RunAsyncPop executes FedBuff: Concurrency clients train simultaneously
+// and asynchronously against the model version they started from;
+// completed updates enter a buffer and every BufferK arrivals are
+// aggregated with staleness-discounted weights. FedBuff has no hard round
+// deadline — tasks run until a generous timeout — which is why it
+// tolerates dropouts but burns far more resources than synchronous FL
+// (Fig 2b, Fig 12).
 //
 // The discrete-event loop (launch decisions, cost-model execution, pops,
 // ledger records) stays on one goroutine; the expensive part — local
@@ -97,24 +128,29 @@ func evictStaleVersion(versions map[int]tensor.Vector, version, cap int) {
 // in pop order. Controller feedback is therefore batch-delivered at
 // barriers; launch-time decisions observe controller state as of the last
 // aggregation, identically for every Parallelism.
-func RunAsync(fed *data.Federation, pop []*device.Client, ctrl Controller, cfg Config) (*Result, error) {
+//
+// With an eager population the launcher scans the dense pool for eligible
+// clients, exactly as the historical engine did. A lazy population is
+// sampled instead: each launch pass walks a fresh random permutation under
+// a probe budget of O(concurrency), deriving only the clients it actually
+// considers, so resident state stays bounded by the provider caches plus
+// the in-flight set.
+func RunAsyncPop(p *population.Population, ctrl Controller, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	if len(pop) == 0 {
+	n := p.NumClients()
+	if n == 0 {
 		return nil, fmt.Errorf("fl: population is empty")
-	}
-	if len(fed.Train) != len(pop) {
-		return nil, fmt.Errorf("fl: federation has %d clients, population has %d",
-			len(fed.Train), len(pop))
 	}
 	spec, err := nn.LookupSpec(cfg.Arch)
 	if err != nil {
 		return nil, err
 	}
+	profile := p.Profile()
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	global, err := nn.NewModel(cfg.Arch, fed.Profile.Dim, fed.Profile.Classes, rng)
+	global, err := nn.NewModel(cfg.Arch, profile.Dim, profile.Classes, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -122,25 +158,29 @@ func RunAsync(fed *data.Federation, pop []*device.Client, ctrl Controller, cfg C
 		return nil, err
 	}
 
-	refWork := workSpecFor(spec, meanShardSize(fed.Train), cfg.Epochs)
+	refWork := workSpecFor(spec, p.MeanShardSize(), cfg.Epochs)
 
 	// FedBuff is lenient: the per-task timeout is twice the synchronous
 	// auto deadline (explicit DeadlineSec overrides).
 	timeout := cfg.DeadlineSec
 	if timeout <= 0 {
-		timeout = 2 * AutoDeadline(pop, refWork, cfg.DeadlinePercentile)
+		timeout = 2 * deadlineFromEstimates(p.CleanResponseEstimates(refWork), cfg.DeadlinePercentile)
 	}
 	// Traces advance one step per timeout interval of virtual time.
 	stepSec := timeout
 	stepOf := func(now float64) int { return int(now / stepSec) }
 
+	ledger := metrics.NewLedger(n)
+	if !p.Eager() {
+		ledger = metrics.NewSparseLedger(n)
+	}
 	res := &Result{
 		Algorithm:   "fedbuff",
 		Controller:  ctrl.Name(),
-		Ledger:      metrics.NewLedger(len(pop)),
+		Ledger:      ledger,
 		DeadlineSec: timeout,
 	}
-	hfDiff := make([]float64, len(pop))
+	hfDiff := make(map[int]float64)
 	eo := newEngineObs(cfg.Metrics, cfg.Tracer)
 
 	// Version-indexed snapshots of global parameters for stale training.
@@ -154,42 +194,89 @@ func RunAsync(fed *data.Federation, pop []*device.Client, ctrl Controller, cfg C
 	var tasks taskHeap
 	heap.Init(&tasks)
 	now := 0.0
+	pop := p.AllClients() // nil in lazy mode
 
+	// launchOne pins client id, runs the cost model, and pushes the task.
+	launchOne := func(id int) error {
+		c := p.AcquireClient(id)
+		shard := p.AcquireShard(id)
+		step := stepOf(now)
+		snap := c.ResourcesAt(step)
+		tech := ctrl.Decide(version, c, snap, hfDiff[id])
+		eo.decide(tech)
+		eo.selected.Inc()
+		work := workSpecFor(spec, len(shard.Train), cfg.Epochs)
+		out, err := device.Execute(c, step, work, tech, timeout)
+		if err != nil {
+			p.Release(id)
+			return err
+		}
+		dur := out.Cost.TotalSeconds
+		if dur <= 0 {
+			dur = 1 // unavailability is detected after a short ping
+		}
+		inFlight[id] = true
+		heap.Push(&tasks, asyncTask{
+			clientID:     id,
+			client:       c,
+			train:        shard.Train,
+			localTest:    shard.LocalTest,
+			startVersion: version,
+			finishAt:     now + dur,
+			outcome:      out,
+			tech:         tech,
+		})
+		return nil
+	}
+
+	useLazyLaunch := !p.Eager() || cfg.forceLazySelection
 	launch := func() error {
 		step0 := stepOf(now)
-		eligible := make([]int, 0, len(pop))
-		for _, c := range pop {
-			if !inFlight[c.ID] && c.ResourcesAt(step0).Available {
-				eligible = append(eligible, c.ID)
+		if !useLazyLaunch {
+			eligible := make([]int, 0, len(pop))
+			for _, c := range pop {
+				if !inFlight[c.ID] && c.ResourcesAt(step0).Available {
+					eligible = append(eligible, c.ID)
+				}
 			}
+			rng.Shuffle(len(eligible), func(i, j int) { eligible[i], eligible[j] = eligible[j], eligible[i] })
+			for len(inFlight) < cfg.Concurrency && len(eligible) > 0 {
+				id := eligible[0]
+				eligible = eligible[1:]
+				if err := launchOne(id); err != nil {
+					return err
+				}
+			}
+			return nil
 		}
-		rng.Shuffle(len(eligible), func(i, j int) { eligible[i], eligible[j] = eligible[j], eligible[i] })
-		for len(inFlight) < cfg.Concurrency && len(eligible) > 0 {
-			id := eligible[0]
-			eligible = eligible[1:]
-			c := pop[id]
-			step := stepOf(now)
-			snap := c.ResourcesAt(step)
-			tech := ctrl.Decide(version, c, snap, hfDiff[id])
-			eo.decide(tech)
-			eo.selected.Inc()
-			work := workSpecFor(spec, len(fed.Train[id]), cfg.Epochs)
-			out, err := device.Execute(c, step, work, tech, timeout)
-			if err != nil {
+		// Lazy launch: walk a fresh random permutation under a probe budget
+		// proportional to the open slots — deriving only probed clients —
+		// instead of the eager path's O(population) eligibility scan. A
+		// probe derives through the unpinned cache; only actual launches
+		// pin.
+		want := cfg.Concurrency - len(inFlight)
+		if want <= 0 {
+			return nil
+		}
+		probes := 8*want + 64
+		if probes > n {
+			probes = n
+		}
+		ps := selection.NewPermSampler(rng, n)
+		for ; probes > 0 && len(inFlight) < cfg.Concurrency; probes-- {
+			id, ok := ps.Next()
+			if !ok {
+				break
+			}
+			if inFlight[id] {
+				continue
+			}
+			if !p.Client(id).ResourcesAt(step0).Available {
+				continue
+			}
+			if err := launchOne(id); err != nil {
 				return err
 			}
-			dur := out.Cost.TotalSeconds
-			if dur <= 0 {
-				dur = 1 // unavailability is detected after a short ping
-			}
-			inFlight[id] = true
-			heap.Push(&tasks, asyncTask{
-				clientID:     id,
-				startVersion: version,
-				finishAt:     now + dur,
-				outcome:      out,
-				tech:         tech,
-			})
 		}
 		return nil
 	}
@@ -246,11 +333,14 @@ func RunAsync(fed *data.Federation, pop []*device.Client, ctrl Controller, cfg C
 				round:       version,
 				staleness:   staleness,
 				startParams: startParams,
+				train:       task.train,
+				localTest:   task.localTest,
 			})
 		}
 		pendingEvents = append(pendingEvents, asyncEvent{
 			version:  version,
 			clientID: task.clientID,
+			client:   task.client,
 			tech:     task.tech,
 			out:      out,
 			trainIdx: trainIdx,
@@ -270,8 +360,7 @@ func RunAsync(fed *data.Federation, pop []*device.Client, ctrl Controller, cfg C
 			j := &jobs[slot]
 			eo.trainCalls.Inc()
 			j.lt, j.err = trainLocal(pool.ctx(worker), pool.delta(slot), global,
-				j.startParams, fed.Train[j.clientID],
-				fed.LocalTest[j.clientID], j.tech, cfg, j.round, j.clientID)
+				j.startParams, j.train, j.localTest, j.tech, cfg, j.round, j.clientID)
 		})
 		for i := range jobs {
 			if jobs[i].err != nil {
@@ -291,8 +380,11 @@ func RunAsync(fed *data.Federation, pop []*device.Client, ctrl Controller, cfg C
 			if ev.trainIdx >= 0 {
 				accImprove = jobs[ev.trainIdx].lt.accImprove
 			}
-			ctrl.Feedback(ev.version, pop[ev.clientID], ev.tech, ev.out, accImprove)
+			ctrl.Feedback(ev.version, ev.client, ev.tech, ev.out, accImprove)
 			cfg.Logger.LogClientRound(clientRoundLog(ev.version, ev.clientID, ev.tech, ev.out, accImprove))
+			// The launch-time pin is dropped once the event — the last
+			// consumer of this task's client instance — has been delivered.
+			p.Release(ev.clientID)
 		}
 		pendingJobs = pendingJobs[:0]
 		pendingEvents = pendingEvents[:0]
@@ -308,13 +400,16 @@ func RunAsync(fed *data.Federation, pop []*device.Client, ctrl Controller, cfg C
 		aggregations++
 		evalCountdown--
 		if evalCountdown <= 0 || aggregations == cfg.Rounds {
-			acc, _ := global.Evaluate(fed.GlobalTest)
+			acc, _ := global.Evaluate(p.GlobalTest())
 			res.GlobalAccHistory = append(res.GlobalAccHistory, acc)
 			res.EvalRounds = append(res.EvalRounds, aggregations)
 			evalCountdown = cfg.EvalEvery
 			eo.evals.Inc()
 			eo.globalAcc.Set(acc)
 		}
+		// Publish population-cache telemetry at this schedule-determined
+		// point so exposition bytes never depend on Parallelism.
+		p.FlushObs()
 	}
 
 	// FedBuff's over-selection bill: every task still in flight when the
@@ -325,13 +420,15 @@ func RunAsync(fed *data.Federation, pop []*device.Client, ctrl Controller, cfg C
 		res.Ledger.RecordDiscarded(task.clientID, task.tech, task.outcome)
 		eo.discarded.Inc()
 		eo.span(obs.Span{T: task.finishAt, Kind: "discard", Round: version, Client: task.clientID, Note: "overrun"})
+		p.Release(task.clientID)
 	}
 
 	res.WallClockSeconds = now
 	res.Ledger.WallClockSeconds = now
-	res.FinalClientAccs = evaluateClients(global, fed)
+	res.FinalClientAccs = evaluateClientsPop(global, p, cfg.EvalClients)
 	res.FinalAccStats = metrics.ComputeAccuracyStats(res.FinalClientAccs)
-	res.FinalGlobalAcc, _ = global.Evaluate(fed.GlobalTest)
+	res.FinalGlobalAcc, _ = global.Evaluate(p.GlobalTest())
 	res.FinalParams = global.Parameters().Clone()
+	p.FlushObs()
 	return res, nil
 }

@@ -1,0 +1,108 @@
+package fl
+
+import (
+	"testing"
+
+	"floatfl/internal/data"
+	"floatfl/internal/device"
+	"floatfl/internal/metrics"
+	"floatfl/internal/population"
+	"floatfl/internal/trace"
+)
+
+// TestAutoDeadlineEmptyPopulation pins the degenerate fallback: no clients
+// means no estimates, which must yield the 60-second default rather than a
+// zero (or NaN) deadline that would drop every round.
+func TestAutoDeadlineEmptyPopulation(t *testing.T) {
+	w := device.WorkSpec{RefFLOPsPerSample: 1e6, RefParams: 2e5, Samples: 32, Epochs: 2}
+	if got := AutoDeadline(nil, w, 90); got != 60 {
+		t.Fatalf("AutoDeadline(nil) = %v, want 60", got)
+	}
+	if got := AutoDeadline([]*device.Client{}, w, 90); got != 60 {
+		t.Fatalf("AutoDeadline(empty) = %v, want 60", got)
+	}
+}
+
+// TestDeadlineFromEstimatesDegenerate covers the shared percentile-and-
+// slack rule behind both the eager and lazy deadline paths.
+func TestDeadlineFromEstimatesDegenerate(t *testing.T) {
+	if got := deadlineFromEstimates(nil, 90); got != 60 {
+		t.Fatalf("no estimates: %v, want 60", got)
+	}
+	if got := deadlineFromEstimates([]float64{0, 0, 0}, 90); got != 60 {
+		t.Fatalf("all-zero estimates: %v, want 60", got)
+	}
+	if got, want := deadlineFromEstimates([]float64{10}, 50), 15.0; got != want {
+		t.Fatalf("single estimate: %v, want %v", got, want)
+	}
+}
+
+// TestAutoDeadlineExactWithinCap: populations at or under the sample cap
+// are measured exactly — the sampled implementation must reproduce the
+// historical full-scan formula bit-for-bit, because the committed goldens
+// embed its deadlines.
+func TestAutoDeadlineExactWithinCap(t *testing.T) {
+	pop, err := device.NewPopulation(device.PopulationConfig{
+		Clients: 50, Scenario: trace.ScenarioStatic, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := device.WorkSpec{RefFLOPsPerSample: 2e6, RefParams: 2e5, Samples: 48, Epochs: 2}
+	ests := make([]float64, len(pop))
+	for i, c := range pop {
+		ests[i] = device.EstimateCleanResponseSeconds(c, w)
+	}
+	want := metrics.Percentile(ests, 90) * 1.5
+	if got := AutoDeadline(pop, w, 90); got != want {
+		t.Fatalf("AutoDeadline(n=50) = %v, want full-scan %v", got, want)
+	}
+}
+
+// TestAutoDeadlineSampledOverCap: above the cap, AutoDeadline must equal
+// the deterministic strided sample (not the full scan), and the sampled
+// deadline must land inside the full population's estimate envelope.
+func TestAutoDeadlineSampledOverCap(t *testing.T) {
+	const n = autoDeadlineSampleCap + 1000
+	pop, err := device.NewPopulation(device.PopulationConfig{
+		Clients: n, Scenario: trace.ScenarioStatic, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := device.WorkSpec{RefFLOPsPerSample: 2e6, RefParams: 2e5, Samples: 48, Epochs: 2}
+	ests := make([]float64, 0, autoDeadlineSampleCap)
+	for i := 0; i < autoDeadlineSampleCap; i++ {
+		ests = append(ests, device.EstimateCleanResponseSeconds(pop[i*n/autoDeadlineSampleCap], w))
+	}
+	want := deadlineFromEstimates(ests, 90)
+	got := AutoDeadline(pop, w, 90)
+	if got != want {
+		t.Fatalf("AutoDeadline(n=%d) = %v, want strided-sample %v", n, got, want)
+	}
+	lo, hi := ests[0], ests[0]
+	for _, c := range pop {
+		e := device.EstimateCleanResponseSeconds(c, w)
+		if e < lo {
+			lo = e
+		}
+		if e > hi {
+			hi = e
+		}
+	}
+	if got < lo || got > hi*1.5 {
+		t.Fatalf("sampled deadline %v outside population envelope [%v, %v]", got, lo, hi*1.5)
+	}
+}
+
+// TestPopulationMeanShardSizeDegenerate: the population facade's exact
+// eager path must keep meanShardSize's historical floor-at-1 guards.
+func TestPopulationMeanShardSizeDegenerate(t *testing.T) {
+	p, err := population.WrapEager(&data.Federation{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.MeanShardSize(); got != 1 {
+		t.Fatalf("empty eager population mean shard size %d, want 1", got)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"floatfl/internal/nn"
 	"floatfl/internal/obs"
 	"floatfl/internal/opt"
+	"floatfl/internal/population"
 	"floatfl/internal/tensor"
 )
 
@@ -128,6 +129,18 @@ type Config struct {
 	// ProxMu enables FedProx's proximal term during local training
 	// (0 = plain FedAvg local SGD).
 	ProxMu float64
+
+	// EvalClients caps how many clients the end-of-run per-client
+	// evaluation touches (a deterministic strided sample; 0 evaluates
+	// all). Million-client lazy runs set this so final evaluation costs
+	// O(sample), not O(population).
+	EvalClients int
+
+	// forceLazySelection routes selection through the LazySelector path
+	// even for an eager population. Test-only: it lets the equivalence
+	// tests run the identical selection schedule against eager and lazy
+	// backings of the same population.
+	forceLazySelection bool
 }
 
 func (c Config) withDefaults() Config {
@@ -210,17 +223,38 @@ type Result struct {
 	FinalParams tensor.Vector
 }
 
+// autoDeadlineSampleCap bounds how many clients AutoDeadline estimates
+// over: populations within the cap are measured exactly (preserving every
+// committed golden), larger ones through a deterministic strided sample —
+// a percentile over 2048 evenly-spaced clients of a million-client
+// population is statistically indistinguishable from the full scan at
+// 1/500th the cost.
+const autoDeadlineSampleCap = 2048
+
 // AutoDeadline derives the synchronous round deadline as a percentile of
 // the population's *clean* (interference-free) response-time estimates,
 // padded with 50% slack. Budgeting against the clean baseline mirrors how
 // deployments pick deadlines: generous for healthy devices, so runtime
 // dropouts are caused by interference and resource dips — the regime where
-// adaptive acceleration pays off.
+// adaptive acceleration pays off. Populations larger than
+// autoDeadlineSampleCap are estimated via a deterministic strided sample;
+// an empty population falls back to the 60-second default.
 func AutoDeadline(pop []*device.Client, w device.WorkSpec, percentile float64) float64 {
-	ests := make([]float64, 0, len(pop))
-	for _, c := range pop {
-		ests = append(ests, device.EstimateCleanResponseSeconds(c, w))
+	count := len(pop)
+	if count > autoDeadlineSampleCap {
+		count = autoDeadlineSampleCap
 	}
+	ests := make([]float64, 0, count)
+	for i := 0; i < count; i++ {
+		ests = append(ests, device.EstimateCleanResponseSeconds(pop[i*len(pop)/count], w))
+	}
+	return deadlineFromEstimates(ests, percentile)
+}
+
+// deadlineFromEstimates applies AutoDeadline's percentile-and-slack rule
+// to a precomputed estimate sample (the lazy population path, which
+// derives its sample without materializing clients).
+func deadlineFromEstimates(ests []float64, percentile float64) float64 {
 	d := metrics.Percentile(ests, percentile) * 1.5
 	if d <= 0 {
 		d = 60
@@ -406,6 +440,26 @@ func evaluateClients(m *nn.Model, fed *data.Federation) []float64 {
 	accs := make([]float64, len(fed.LocalTest))
 	for i, ts := range fed.LocalTest {
 		accs[i], _ = m.Evaluate(ts)
+	}
+	return accs
+}
+
+// evaluateClientsPop returns the model's accuracy on clients' local test
+// splits through the population seam. limit ≤ 0 (or ≥ population)
+// evaluates every client — identical to evaluateClients for an eager
+// population; a positive limit evaluates a deterministic strided sample,
+// the only affordable option at million-client scale. Lazy shards stream
+// through the bounded cache, so residency never exceeds its capacity.
+func evaluateClientsPop(m *nn.Model, p *population.Population, limit int) []float64 {
+	n := p.NumClients()
+	count := n
+	if limit > 0 && limit < n {
+		count = limit
+	}
+	accs := make([]float64, count)
+	for i := 0; i < count; i++ {
+		shard := p.Shard(i * n / count)
+		accs[i], _ = m.Evaluate(shard.LocalTest)
 	}
 	return accs
 }

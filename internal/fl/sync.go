@@ -10,15 +10,23 @@ import (
 	"floatfl/internal/nn"
 	"floatfl/internal/obs"
 	"floatfl/internal/opt"
+	"floatfl/internal/population"
 	"floatfl/internal/selection"
 	"floatfl/internal/tensor"
 )
 
-// syncJob is one selected client's dispatch record: everything decided on
-// the single-threaded pass before the round fans out.
+// syncJob is one selected client's dispatch record: everything decided and
+// resolved on the single-threaded pass before the round fans out. The
+// client pointer and shard slices are acquired (pinned) from the
+// population at dispatch, so workers never touch the provider caches — the
+// cache's hit/miss schedule, like every other order-sensitive effect,
+// belongs to the sequential passes.
 type syncJob struct {
-	id   int
-	tech opt.Technique
+	id        int
+	tech      opt.Technique
+	client    *device.Client
+	train     []nn.Sample
+	localTest []nn.Sample
 }
 
 // syncResult is what one worker produces for its slot. Workers write only
@@ -30,40 +38,70 @@ type syncResult struct {
 	err     error
 }
 
-// RunSync executes synchronous federated training: each round the selector
-// picks ClientsPerRound clients, every selected client trains locally under
-// the controller's chosen technique, completions are FedAvg-aggregated, and
-// the round's wall clock is the slowest participant (or the deadline when
-// anyone timed out). This is the engine behind FedAvg, Oort, and REFL runs,
-// with or without FLOAT.
-//
-// Each round runs in three phases: a sequential dispatch pass (resource
-// snapshot + controller decision per client, in selection order), a
-// parallel fan-out (device.Execute + trainLocal against a snapshot of the
-// global model, Config.Parallelism workers), and a sequential collect pass
-// that applies deltas, ledger records, selector feedback, and controller
-// feedback in selection order. The fan-out schedule cannot influence the
-// results, so any Parallelism produces bit-identical output.
+// RunSync executes synchronous federated training over the classic dense
+// federation/population pair. It is a thin wrapper over RunSyncPop with an
+// eager population — bit-identical to the historical engine (the committed
+// goldens pin this).
 func RunSync(fed *data.Federation, pop []*device.Client, sel selection.Selector,
+	ctrl Controller, cfg Config) (*Result, error) {
+
+	c := cfg.withDefaults()
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	if len(pop) == 0 {
+		return nil, fmt.Errorf("fl: population is empty")
+	}
+	p, err := population.WrapEager(fed, pop)
+	if err != nil {
+		return nil, err
+	}
+	return RunSyncPop(p, sel, ctrl, cfg)
+}
+
+// RunSyncPop executes synchronous federated training: each round the
+// selector picks ClientsPerRound clients, every selected client trains
+// locally under the controller's chosen technique, completions are
+// FedAvg-aggregated, and the round's wall clock is the slowest participant
+// (or the deadline when anyone timed out). This is the engine behind
+// FedAvg, Oort, and REFL runs, with or without FLOAT.
+//
+// Each round runs in three phases: a sequential dispatch pass (selection,
+// client/shard acquisition, resource snapshot + controller decision per
+// client, in selection order), a parallel fan-out (device.Execute +
+// trainLocal against a snapshot of the global model, Config.Parallelism
+// workers), and a sequential collect pass that applies deltas, ledger
+// records, selector feedback, and controller feedback in selection order,
+// then releases the round's clients. The fan-out schedule cannot influence
+// the results, so any Parallelism produces bit-identical output.
+//
+// With an eager population the selector sees the classic checked-in dense
+// pool; a lazy population requires a selection.LazySelector, which probes
+// O(selected) clients instead of scanning the population. Memory per round
+// is then bounded by the provider cache capacity plus the selected set.
+func RunSyncPop(p *population.Population, sel selection.Selector,
 	ctrl Controller, cfg Config) (*Result, error) {
 
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	if len(pop) == 0 {
+	n := p.NumClients()
+	if n == 0 {
 		return nil, fmt.Errorf("fl: population is empty")
 	}
-	if len(fed.Train) != len(pop) {
-		return nil, fmt.Errorf("fl: federation has %d clients, population has %d",
-			len(fed.Train), len(pop))
+	useLazySel := !p.Eager() || cfg.forceLazySelection
+	lazySel, isLazySel := sel.(selection.LazySelector)
+	if useLazySel && !isLazySel {
+		return nil, fmt.Errorf("fl: selector %q cannot drive a lazy population (implement selection.LazySelector)", sel.Name())
 	}
 	spec, err := nn.LookupSpec(cfg.Arch)
 	if err != nil {
 		return nil, err
 	}
+	profile := p.Profile()
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	global, err := nn.NewModel(cfg.Arch, fed.Profile.Dim, fed.Profile.Classes, rng)
+	global, err := nn.NewModel(cfg.Arch, profile.Dim, profile.Classes, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -71,55 +109,83 @@ func RunSync(fed *data.Federation, pop []*device.Client, sel selection.Selector,
 		return nil, err
 	}
 
-	refWork := workSpecFor(spec, meanShardSize(fed.Train), cfg.Epochs)
+	refWork := workSpecFor(spec, p.MeanShardSize(), cfg.Epochs)
 
 	deadline := cfg.DeadlineSec
 	if deadline <= 0 {
-		deadline = AutoDeadline(pop, refWork, cfg.DeadlinePercentile)
+		deadline = deadlineFromEstimates(p.CleanResponseEstimates(refWork), cfg.DeadlinePercentile)
 	}
 
+	ledger := metrics.NewLedger(n)
+	if !p.Eager() {
+		ledger = metrics.NewSparseLedger(n)
+	}
 	res := &Result{
 		Algorithm:   sel.Name(),
 		Controller:  ctrl.Name(),
-		Ledger:      metrics.NewLedger(len(pop)),
+		Ledger:      ledger,
 		DeadlineSec: deadline,
 	}
-	// hfDiff tracks the latest deadline-difference human feedback per client.
-	hfDiff := make([]float64, len(pop))
+	// hfDiff tracks the latest deadline-difference human feedback per
+	// client — sparse, because a million-client run only ever touches the
+	// participants.
+	hfDiff := make(map[int]float64)
 
 	// Reusable per-worker training contexts and per-slot delta buffers:
 	// grown once, then every steady-state client round allocates nothing.
 	pool := newContextPool(global)
 	eo := newEngineObs(cfg.Metrics, cfg.Tracer)
+	pop := p.AllClients() // nil in lazy mode
 
 	for round := 0; round < cfg.Rounds; round++ {
 		// Virtual time at which this round starts; all spans for the round
 		// are anchored to it, so traces never depend on wall clock.
 		roundStart := res.WallClockSeconds
 		info := selection.RoundInfo{Round: round, Work: refWork, DeadlineSec: deadline}
-		// Real FL servers dispatch only to clients that checked in: filter
-		// the pool to currently-available devices. Clients can still drop
-		// out mid-round if they go offline after selection.
-		checkedIn := make([]*device.Client, 0, len(pop))
-		for _, c := range pop {
-			if c.ResourcesAt(round).Available {
-				checkedIn = append(checkedIn, c)
+		var ids []int
+		if useLazySel {
+			// Lazy selection probes availability itself — an O(selected)
+			// walk instead of the eager path's O(population) check-in scan.
+			ids = lazySel.SelectLazy(info, p, cfg.ClientsPerRound)
+			if len(ids) == 0 {
+				continue
 			}
+		} else {
+			// Real FL servers dispatch only to clients that checked in:
+			// filter the pool to currently-available devices. Clients can
+			// still drop out mid-round if they go offline after selection.
+			checkedIn := make([]*device.Client, 0, len(pop))
+			for _, c := range pop {
+				if c.ResourcesAt(round).Available {
+					checkedIn = append(checkedIn, c)
+				}
+			}
+			if len(checkedIn) == 0 {
+				continue
+			}
+			ids = sel.Select(info, checkedIn, cfg.ClientsPerRound)
 		}
-		if len(checkedIn) == 0 {
-			continue
-		}
-		ids := sel.Select(info, checkedIn, cfg.ClientsPerRound)
 		eo.span(obs.Span{T: roundStart, Kind: "select", Round: round, Client: -1})
 		eo.selected.Add(int64(len(ids)))
 
-		// Dispatch pass: snapshot resources and let the controller decide,
-		// in selection order, before anything executes. All decisions in a
-		// round therefore observe controller state as of the round start.
+		// Dispatch pass: acquire (derive + pin) each selected client and
+		// its shard, snapshot resources, and let the controller decide, in
+		// selection order, before anything executes. All decisions in a
+		// round therefore observe controller state as of the round start,
+		// and workers receive fully-resolved jobs — they never touch the
+		// population caches.
 		jobs := make([]syncJob, len(ids))
 		for slot, id := range ids {
-			snap := pop[id].ResourcesAt(round)
-			jobs[slot] = syncJob{id: id, tech: ctrl.Decide(round, pop[id], snap, hfDiff[id])}
+			c := p.AcquireClient(id)
+			shard := p.AcquireShard(id)
+			snap := c.ResourcesAt(round)
+			jobs[slot] = syncJob{
+				id:        id,
+				client:    c,
+				train:     shard.Train,
+				localTest: shard.LocalTest,
+				tech:      ctrl.Decide(round, c, snap, hfDiff[id]),
+			}
 			eo.decide(jobs[slot].tech)
 		}
 		eo.span(obs.Span{T: roundStart, Kind: "decide", Round: round, Client: -1})
@@ -142,8 +208,8 @@ func RunSync(fed *data.Federation, pop []*device.Client, sel selection.Selector,
 		results := make([]syncResult, len(jobs))
 		forEachSlot(len(jobs), par, func(worker, slot int) {
 			j := jobs[slot]
-			work := workSpecFor(spec, len(fed.Train[j.id]), cfg.Epochs)
-			out, err := device.Execute(pop[j.id], round, work, j.tech, deadline)
+			work := workSpecFor(spec, len(j.train), cfg.Epochs)
+			out, err := device.Execute(j.client, round, work, j.tech, deadline)
 			if err != nil {
 				results[slot].err = err
 				return
@@ -154,8 +220,7 @@ func RunSync(fed *data.Federation, pop []*device.Client, sel selection.Selector,
 			}
 			eo.trainCalls.Inc()
 			lt, err := trainLocal(pool.ctx(worker), pool.delta(slot), global,
-				globalParams, fed.Train[j.id],
-				fed.LocalTest[j.id], j.tech, cfg, round, j.id)
+				globalParams, j.train, j.localTest, j.tech, cfg, round, j.id)
 			if err != nil {
 				results[slot].err = err
 				return
@@ -198,12 +263,17 @@ func RunSync(fed *data.Federation, pop []*device.Client, sel selection.Selector,
 				}
 			}
 			sel.Observe(selection.Feedback{ClientID: j.id, Round: round, Outcome: out, StatUtility: statUtil})
-			ctrl.Feedback(round, pop[j.id], j.tech, out, accImprove)
+			ctrl.Feedback(round, j.client, j.tech, out, accImprove)
 			cfg.Logger.LogClientRound(clientRoundLog(round, j.id, j.tech, out, accImprove))
 		}
 
 		if err := applyAggregate(global, deltas, weights); err != nil {
 			return nil, err
+		}
+		// The round's pins are dropped only after every side effect that
+		// needs the client instance has run.
+		for _, id := range ids {
+			p.Release(id)
 		}
 		if anyTimeout {
 			roundWall = deadline
@@ -224,7 +294,7 @@ func RunSync(fed *data.Federation, pop []*device.Client, sel selection.Selector,
 			WallSeconds: roundWall,
 		}
 		if (round+1)%cfg.EvalEvery == 0 || round == cfg.Rounds-1 {
-			acc, _ := global.Evaluate(fed.GlobalTest)
+			acc, _ := global.Evaluate(p.GlobalTest())
 			res.GlobalAccHistory = append(res.GlobalAccHistory, acc)
 			res.EvalRounds = append(res.EvalRounds, round+1)
 			summary.GlobalAcc = &acc
@@ -232,11 +302,15 @@ func RunSync(fed *data.Federation, pop []*device.Client, sel selection.Selector,
 			eo.globalAcc.Set(acc)
 		}
 		cfg.Logger.LogRoundSummary(summary)
+		// Publish population-cache telemetry at this schedule-determined
+		// point so exposition bytes never depend on Parallelism.
+		p.FlushObs()
 	}
 
-	res.FinalClientAccs = evaluateClients(global, fed)
+	res.FinalClientAccs = evaluateClientsPop(global, p, cfg.EvalClients)
 	res.FinalAccStats = metrics.ComputeAccuracyStats(res.FinalClientAccs)
-	res.FinalGlobalAcc, _ = global.Evaluate(fed.GlobalTest)
+	res.FinalGlobalAcc, _ = global.Evaluate(p.GlobalTest())
 	res.FinalParams = global.Parameters().Clone()
+	p.FlushObs()
 	return res, nil
 }

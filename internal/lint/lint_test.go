@@ -20,6 +20,7 @@ var badFixtures = []struct {
 	{"no-wall-clock", "wallclock_bad.go"},
 	{"no-global-rand", "rand_bad.go"},
 	{"map-order-hazard", "maporder_bad.go"},
+	{"map-order-hazard", "popcache_bad.go"},
 	{"flat-view-mutation", "flatview_bad.go"},
 	{"naked-goroutine", "goroutine_bad.go"},
 	{"tensor-backend", "backend_bad.go"},
@@ -32,6 +33,7 @@ var okFixtures = []string{
 	"wallclock_ok.go",
 	"rand_ok.go",
 	"maporder_ok.go",
+	"popcache_ok.go",
 	"flatview_ok.go",
 	"goroutine_ok.go",
 	"backend_ok.go",

@@ -1,0 +1,55 @@
+// Fixture: the population-cache shapes of the lazy client-state layer —
+// per-client drain logs, sparse per-shard counters, and working-set
+// residency maps. Ranging over any of these maps while feeding
+// order-sensitive state (float sums, appended snapshots, exposition
+// lines) reintroduces exactly the nondeterminism the sharded sorted
+// structures exist to prevent; the map-order-hazard rule must flag each.
+package fixture
+
+type drainEvent struct {
+	Step int
+	Frac float64
+}
+
+// Flushing persisted drain logs straight out of the map range would
+// replay battery history in a different order every run.
+func flushDrainLogs(logs map[int][]drainEvent) []drainEvent {
+	var all []drainEvent
+	for _, log := range logs {
+		all = append(all, log...) // want map-order-hazard (drain replay order escapes)
+	}
+	return all
+}
+
+// A fairness aggregate (Jain denominator) summed over a sparse counter
+// shard in map order: float accumulation order changes the bits.
+func shardFairness(shard map[int]int) float64 {
+	var sumSq float64
+	for _, c := range shard {
+		sumSq += float64(c) * float64(c) // want map-order-hazard (float accumulation)
+	}
+	return sumSq
+}
+
+// Snapshotting a cache's resident client IDs without sorting leaks map
+// order into whatever consumes the snapshot (eviction tests, expositions).
+func residentClients(entries map[int]*drainEvent) []int {
+	var ids []int
+	for id := range entries {
+		ids = append(ids, id) // want map-order-hazard (unsorted residency snapshot)
+	}
+	return ids
+}
+
+// Formatting per-kind cache counters directly from the map range writes
+// exposition lines in nondeterministic order — the byte-reproducible
+// telemetry contract forbids exactly this.
+func cacheCounterLines(byKind map[string]int64) []string {
+	var lines []string
+	for kind, v := range byKind {
+		lines = append(lines, kind+" "+formatInt(v)) // want map-order-hazard (exposition without sort)
+	}
+	return lines
+}
+
+func formatInt(int64) string { return "" }

@@ -1,0 +1,54 @@
+// Fixture: the sanctioned counterparts of popcache_bad.go — the
+// collect-then-sort discipline the lazy population layer actually uses
+// for drain logs, sparse counters, and cache snapshots. All must lint
+// clean.
+package fixture
+
+import "sort"
+
+type drainRecord struct {
+	Step int
+	Frac float64
+}
+
+// Collect the client IDs first, sort them, then replay logs in a fixed
+// order — the device provider's eviction-replay pattern.
+func flushDrainLogsSorted(logs map[int][]drainRecord) []drainRecord {
+	ids := make([]int, 0, len(logs))
+	for id := range logs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var all []drainRecord
+	for _, id := range ids {
+		all = append(all, logs[id]...)
+	}
+	return all
+}
+
+// The sparse ledger's shape: per-shard counts are materialized through a
+// sorted-key pass, so the float accumulation downstream sees a fixed
+// order.
+func shardCountsSorted(shard map[int]int) float64 {
+	ids := make([]int, 0, len(shard))
+	for id := range shard {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var sumSq float64
+	for _, id := range ids {
+		c := float64(shard[id])
+		sumSq += c * c
+	}
+	return sumSq
+}
+
+// Counting residents is order-insensitive: int increments commute, so a
+// bare range stays legal and the rule must not fire.
+func residentCount(entries map[int]*drainRecord) int {
+	n := 0
+	for range entries {
+		n++
+	}
+	return n
+}

@@ -69,8 +69,15 @@ func (in *Inefficiency) Add(o Inefficiency) {
 type Ledger struct {
 	clients int
 
-	Selected  []int // per-client selection count
-	Completed []int // per-client completion count
+	Selected  []int // per-client selection count (dense mode; nil in sparse mode)
+	Completed []int // per-client completion count (dense mode; nil in sparse mode)
+
+	// Sparse mode (NewSparseLedger): participation tallies in sharded
+	// sorted structures costing O(participants) memory — the ledger a
+	// million-client lazy population uses. All aggregate methods work in
+	// either mode; only the dense Selected/Completed slices are absent.
+	selectedS  *ShardedCounts
+	completedS *ShardedCounts
 
 	DropsByReason map[device.DropReason]int
 	TotalDrops    int
@@ -93,7 +100,7 @@ type Ledger struct {
 	WallClockSeconds float64
 }
 
-// NewLedger creates a ledger for a population of the given size.
+// NewLedger creates a dense ledger for a population of the given size.
 func NewLedger(clients int) *Ledger {
 	return &Ledger{
 		clients:       clients,
@@ -105,12 +112,58 @@ func NewLedger(clients int) *Ledger {
 	}
 }
 
+// NewSparseLedger creates a ledger whose per-client tallies cost
+// O(participants) memory — for lazy populations where allocating a slice
+// per million clients would defeat the bounded-working-set contract.
+func NewSparseLedger(clients int) *Ledger {
+	return &Ledger{
+		clients:       clients,
+		selectedS:     NewShardedCounts(),
+		completedS:    NewShardedCounts(),
+		DropsByReason: make(map[device.DropReason]int),
+		TechSuccess:   make(map[opt.Technique]int),
+		TechFailure:   make(map[opt.Technique]int),
+	}
+}
+
+// Sparse reports whether the ledger tallies participation sparsely.
+func (l *Ledger) Sparse() bool { return l.selectedS != nil }
+
+// SelectedCount returns client id's selection tally in either mode.
+func (l *Ledger) SelectedCount(id int) int {
+	if l.Sparse() {
+		return l.selectedS.Get(id)
+	}
+	if id >= 0 && id < len(l.Selected) {
+		return l.Selected[id]
+	}
+	return 0
+}
+
+// CompletedCount returns client id's completion tally in either mode.
+func (l *Ledger) CompletedCount(id int) int {
+	if l.Sparse() {
+		return l.completedS.Get(id)
+	}
+	if id >= 0 && id < len(l.Completed) {
+		return l.Completed[id]
+	}
+	return 0
+}
+
 // Record ingests one client-round outcome.
 func (l *Ledger) Record(clientID int, tech opt.Technique, out device.Outcome) {
 	if clientID >= 0 && clientID < l.clients {
-		l.Selected[clientID]++
-		if out.Completed {
-			l.Completed[clientID]++
+		if l.Sparse() {
+			l.selectedS.Inc(clientID)
+			if out.Completed {
+				l.completedS.Inc(clientID)
+			}
+		} else {
+			l.Selected[clientID]++
+			if out.Completed {
+				l.Completed[clientID]++
+			}
 		}
 	}
 	l.TotalRounds++
@@ -136,7 +189,11 @@ func (l *Ledger) Record(clientID int, tech opt.Technique, out device.Outcome) {
 // counts toward participation but not toward dropouts.
 func (l *Ledger) RecordDiscarded(clientID int, tech opt.Technique, out device.Outcome) {
 	if clientID >= 0 && clientID < l.clients {
-		l.Selected[clientID]++
+		if l.Sparse() {
+			l.selectedS.Inc(clientID)
+		} else {
+			l.Selected[clientID]++
+		}
 	}
 	l.TotalRounds++
 	l.Discarded++
@@ -153,6 +210,9 @@ func (l *Ledger) NeverSelectedFraction() float64 {
 	if l.clients == 0 {
 		return 0
 	}
+	if l.Sparse() {
+		return float64(l.clients-l.selectedS.Distinct()) / float64(l.clients)
+	}
 	n := 0
 	for _, c := range l.Selected {
 		if c == 0 {
@@ -168,6 +228,9 @@ func (l *Ledger) NeverCompletedFraction() float64 {
 	if l.clients == 0 {
 		return 0
 	}
+	if l.Sparse() {
+		return float64(l.clients-l.completedS.Distinct()) / float64(l.clients)
+	}
 	n := 0
 	for _, c := range l.Completed {
 		if c == 0 {
@@ -181,19 +244,27 @@ func (l *Ledger) NeverCompletedFraction() float64 {
 // perfectly even participation, 1 means a single client absorbed all
 // selections.
 func (l *Ledger) SelectionGini() float64 {
-	return gini(l.Selected)
+	if l.Sparse() {
+		return giniWithZeros(l.selectedS.Counts(), l.clients-l.selectedS.Distinct())
+	}
+	return giniWithZeros(l.Selected, 0)
 }
 
-func gini(counts []int) float64 {
-	n := len(counts)
+// giniWithZeros computes the Gini coefficient over nonzero ∪ {0}^zeros
+// without materializing the zero prefix — sparse ledgers pass only the
+// participants plus the count of never-selected clients.
+func giniWithZeros(nonzero []int, zeros int) float64 {
+	n := len(nonzero) + zeros
 	if n == 0 {
 		return 0
 	}
-	sorted := append([]int(nil), counts...)
+	sorted := append([]int(nil), nonzero...)
 	sort.Ints(sorted)
 	var cum, total float64
 	for i, c := range sorted {
-		cum += float64(i+1) * float64(c)
+		// Zeros sort first and contribute nothing to either sum; the
+		// nonzero element at local index i has global rank zeros+i+1.
+		cum += float64(zeros+i+1) * float64(c)
 		total += float64(c)
 	}
 	if total == 0 {
@@ -207,16 +278,21 @@ func gini(counts []int) float64 {
 // everything. It complements the Gini coefficient with the fairness
 // measure most FL selection papers report.
 func (l *Ledger) SelectionJainIndex() float64 {
-	return jain(l.Selected)
+	if l.Sparse() {
+		// Counts() iterates in a fixed shard-major sorted order, so the
+		// float accumulation below is byte-reproducible.
+		return jainWithZeros(l.selectedS.Counts(), l.clients-l.selectedS.Distinct())
+	}
+	return jainWithZeros(l.Selected, 0)
 }
 
-func jain(counts []int) float64 {
-	n := len(counts)
+func jainWithZeros(nonzero []int, zeros int) float64 {
+	n := len(nonzero) + zeros
 	if n == 0 {
 		return 0
 	}
 	var sum, sumSq float64
-	for _, c := range counts {
+	for _, c := range nonzero {
 		x := float64(c)
 		sum += x
 		sumSq += x * x

@@ -20,10 +20,24 @@ type AvailabilityTrace struct {
 	drainPerUse         float64
 	chargePerStep       float64
 
-	on      bool
-	series  []bool
-	levels  []float64
-	pending float64 // drain requested for the next step
+	on     bool
+	series []bool
+	levels []float64
+	// drains is the append-only log of battery-drain requests, each tagged
+	// with the series step whose generation consumes it. Together with the
+	// seed it is the *complete* mutable state of the trace: replaying the
+	// log on a freshly-constructed trace reproduces the series bit-for-bit,
+	// which is what lets a lazy population evict and re-derive clients.
+	drains   []DrainEvent
+	drainIdx int // first unconsumed entry of drains
+}
+
+// DrainEvent records one battery-drain request: Frac battery fraction,
+// consumed when series step Step is generated. Events are logged in
+// nondecreasing Step order.
+type DrainEvent struct {
+	Step int
+	Frac float64
 }
 
 // AvailabilityConfig tunes an availability trace.
@@ -86,7 +100,9 @@ func (a *AvailabilityTrace) BatteryAt(t int) float64 {
 
 // RecordUse registers that the client trained during the current step,
 // draining the configured per-use battery amount.
-func (a *AvailabilityTrace) RecordUse() { a.pending += a.drainPerUse }
+func (a *AvailabilityTrace) RecordUse() {
+	a.drains = append(a.drains, DrainEvent{Step: len(a.series), Frac: a.drainPerUse})
+}
 
 // RecordUseAmount drains an explicit battery fraction — used by the cost
 // model to charge each round proportionally to the energy it actually
@@ -94,8 +110,32 @@ func (a *AvailabilityTrace) RecordUse() { a.pending += a.drainPerUse }
 // battery (and with it future availability).
 func (a *AvailabilityTrace) RecordUseAmount(frac float64) {
 	if frac > 0 {
-		a.pending += frac
+		a.drains = append(a.drains, DrainEvent{Step: len(a.series), Frac: frac})
 	}
+}
+
+// DrainLog returns a copy of the drain-event log. A trace constructed with
+// the same config and then ReplayDrains'd with this log is bit-identical to
+// the receiver — the log plus the seed is the trace's whole mutable state.
+func (a *AvailabilityTrace) DrainLog() []DrainEvent {
+	if len(a.drains) == 0 {
+		return nil
+	}
+	return append([]DrainEvent(nil), a.drains...)
+}
+
+// ReplayDrains installs a previously-captured drain log on a trace that has
+// not yet generated any steps. It is the re-derivation half of the lazy
+// population contract: evict a client, keep only its DrainLog, and a fresh
+// NewAvailabilityTrace + ReplayDrains reproduces its battery/availability
+// series exactly. Panics if called after the series started generating,
+// because the replayed past could no longer take effect.
+func (a *AvailabilityTrace) ReplayDrains(log []DrainEvent) {
+	if len(a.series) > 0 {
+		panic("trace: ReplayDrains called on a trace with generated steps")
+	}
+	a.drains = append([]DrainEvent(nil), log...)
+	a.drainIdx = 0
 }
 
 func (a *AvailabilityTrace) extend(t int) {
@@ -103,10 +143,16 @@ func (a *AvailabilityTrace) extend(t int) {
 		t = 0
 	}
 	for len(a.series) <= t {
-		// apply pending drain, else charge
-		if a.pending > 0 {
-			a.battery -= a.pending
-			a.pending = 0
+		// Consume every drain logged for this step, in log order (the same
+		// accumulation order the old pending-sum used, so the float math is
+		// unchanged); an undrained step charges instead.
+		var drain float64
+		for a.drainIdx < len(a.drains) && a.drains[a.drainIdx].Step <= len(a.series) {
+			drain += a.drains[a.drainIdx].Frac
+			a.drainIdx++
+		}
+		if drain > 0 {
+			a.battery -= drain
 		} else {
 			a.battery += a.chargePerStep
 		}

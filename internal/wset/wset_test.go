@@ -1,0 +1,105 @@
+package wset
+
+import "testing"
+
+func TestLRUEviction(t *testing.T) {
+	var evicted []int
+	c := New[int, string](2, func(k int, _ string) { evicted = append(evicted, k) })
+	c.Add(1, "a")
+	c.Add(2, "b")
+	c.Add(3, "c") // evicts 1 (LRU)
+	if len(evicted) != 1 || evicted[0] != 1 {
+		t.Fatalf("evicted %v, want [1]", evicted)
+	}
+	if _, ok := c.Get(1); ok {
+		t.Fatal("evicted entry still resident")
+	}
+	// Touch 2 so 3 becomes LRU.
+	if _, ok := c.Get(2); !ok {
+		t.Fatal("entry 2 missing")
+	}
+	c.Add(4, "d") // evicts 3
+	if len(evicted) != 2 || evicted[1] != 3 {
+		t.Fatalf("evicted %v, want [1 3]", evicted)
+	}
+}
+
+func TestPinBlocksEviction(t *testing.T) {
+	var evicted []int
+	c := New[int, int](1, func(k, _ int) { evicted = append(evicted, k) })
+	c.Add(1, 10)
+	if !c.Pin(1) {
+		t.Fatal("pin of resident entry failed")
+	}
+	c.Add(2, 20)
+	c.Add(3, 30) // evicts 2, not pinned 1
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("pinned entry was evicted")
+	}
+	if len(evicted) != 1 || evicted[0] != 2 {
+		t.Fatalf("evicted %v, want [2]", evicted)
+	}
+	// Unpin re-enters the LRU as MRU; 3 is now the victim.
+	c.Unpin(1)
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("unpinned entry should survive as MRU")
+	}
+	if _, ok := c.Get(3); ok {
+		t.Fatal("entry 3 should have been evicted on unpin overflow")
+	}
+}
+
+func TestPinRefcount(t *testing.T) {
+	c := New[int, int](1, nil)
+	c.Add(1, 1)
+	c.Pin(1)
+	c.Pin(1)
+	c.Unpin(1)
+	c.Add(2, 2)
+	c.Add(3, 3)
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("entry with remaining pin was evicted")
+	}
+	c.Unpin(1)
+	if c.Len() > 2 {
+		t.Fatalf("resident %d after final unpin, want ≤ 2", c.Len())
+	}
+}
+
+func TestStatsDeterministic(t *testing.T) {
+	run := func() Stats {
+		c := New[int, int](2, nil)
+		for i := 0; i < 10; i++ {
+			k := i % 4
+			if _, ok := c.Get(k); !ok {
+				c.Add(k, k)
+			}
+		}
+		return c.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same access sequence produced different stats: %+v vs %+v", a, b)
+	}
+	if a.Hits+a.Misses != 10 {
+		t.Fatalf("hits+misses = %d, want 10", a.Hits+a.Misses)
+	}
+	if a.Peak > 3 {
+		t.Fatalf("peak resident %d exceeds capacity+1", a.Peak)
+	}
+}
+
+func TestResidencyBound(t *testing.T) {
+	c := New[int, int](4, nil)
+	pinned := 0
+	for i := 0; i < 100; i++ {
+		c.Add(i, i)
+		if i%10 == 0 {
+			c.Pin(i)
+			pinned++
+		}
+		if got, bound := c.Len(), 4+pinned; got > bound {
+			t.Fatalf("resident %d exceeds capacity+pinned = %d", got, bound)
+		}
+	}
+}
