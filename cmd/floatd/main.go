@@ -20,6 +20,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"os"
 
 	"floatfl/internal/core"
 	"floatfl/internal/data"
@@ -44,6 +45,7 @@ func main() {
 		roundSec   = flag.Float64("round-sec", 0, "round timer seconds before a partial buffer is aggregated (0 = 2x lease)")
 		minUpdates = flag.Int("min-updates", 0, "minimum buffered updates the round timer will aggregate (0 = 1)")
 		pprofOn    = flag.Bool("pprof", false, "also serve net/http/pprof under /debug/pprof/")
+		resume     = flag.String("resume", "", "restore aggregator state from a snapshot file (fetch one from GET /v1/snapshot, ideally after POST /v1/drain)")
 	)
 	flag.Parse()
 
@@ -90,6 +92,16 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *resume != "" {
+		blob, err := os.ReadFile(*resume)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := srv.RestoreSnapshot(blob); err != nil {
+			log.Fatalf("floatd: resume %s: %v", *resume, err)
+		}
+		fmt.Printf("floatd: resumed from %s at round %d\n", *resume, srv.Round())
 	}
 	// The aggregator's mux already serves /v1/metrics; pprof is opt-in so
 	// a default deployment exposes no profiling surface.

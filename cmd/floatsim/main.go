@@ -20,8 +20,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
+	"floatfl/internal/checkpoint"
 	"floatfl/internal/core"
 	"floatfl/internal/device"
 	"floatfl/internal/experiment"
@@ -75,6 +78,9 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write the end-of-run metrics snapshot (text exposition) to this file ('-' = stdout)")
 		traceOut   = flag.String("trace-out", "", "write the JSONL phase trace to this file ('-' = stdout; analyze with floatreport -trace)")
 		seeds      = flag.Int("seeds", 0, "run a seed sweep of this size and report mean±std instead of a single run")
+		ckptPath   = flag.String("checkpoint", "", "write crash-safe snapshots to this file (periodically with -checkpoint-every, and on SIGINT/SIGTERM)")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "snapshot every N rounds (sync) or aggregations (async); requires -checkpoint")
+		resumePath = flag.String("resume", "", "resume a run from a snapshot file written by -checkpoint; rounds already completed are skipped and the output is bit-identical to an uninterrupted run")
 	)
 	flag.Parse()
 
@@ -161,6 +167,42 @@ func main() {
 		fatal(fmt.Errorf("unknown controller %q", *controller))
 	}
 
+	if *ckptEvery > 0 && *ckptPath == "" {
+		fatal(fmt.Errorf("-checkpoint-every requires -checkpoint"))
+	}
+	if *ckptPath != "" || *resumePath != "" {
+		if *seeds > 0 {
+			fatal(fmt.Errorf("-checkpoint/-resume cannot be combined with -seeds"))
+		}
+		ck := &fl.CheckpointConfig{Every: *ckptEvery}
+		if *ckptPath != "" {
+			path := *ckptPath
+			ck.Sink = func(b []byte) error { return checkpoint.WriteRaw(path, b) }
+			// A SIGINT/SIGTERM requests a graceful stop: the engine finishes
+			// the in-flight round, snapshots at its quiescent boundary, and
+			// returns a partial Result instead of dying mid-mutation.
+			sigc := make(chan os.Signal, 1)
+			signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+			ck.Stop = func() bool {
+				select {
+				case <-sigc:
+					fmt.Fprintln(os.Stderr, "floatsim: signal — snapshotting and stopping at the next quiescent boundary")
+					return true
+				default:
+					return false
+				}
+			}
+		}
+		if *resumePath != "" {
+			blob, err := os.ReadFile(*resumePath)
+			if err != nil {
+				fatal(err)
+			}
+			ck.Resume = blob
+		}
+		sc.Checkpoint = ck
+	}
+
 	if *seeds > 0 {
 		sweep, err := experiment.Sweep(sc, spec, *seeds)
 		if err != nil {
@@ -196,6 +238,11 @@ func main() {
 	}
 
 	printReport(res)
+
+	if sc.Checkpoint != nil && res.CompletedRounds < sc.Rounds {
+		fmt.Printf("\nstopped after %d/%d rounds — continue with -resume %s\n",
+			res.CompletedRounds, sc.Rounds, *ckptPath)
+	}
 
 	if f, ok := ctrl.(*core.Float); ok {
 		printAgentSummary(f)

@@ -1,0 +1,238 @@
+// Package checkpoint defines the repo's snapshot container: a versioned,
+// checksummed frame around an opaque payload, plus the Stateful interface
+// components implement to participate in engine checkpoints.
+//
+// The frame is deliberately dumb — magic, version, a kind string naming
+// what the payload is (an engine snapshot, an RL agent, a dist server),
+// the payload length, the payload, and a SHA-256 over everything before
+// it. All interpretation lives with the owner of the kind. Decoding
+// verifies the checksum before returning a single payload byte, so a
+// caller that validates the decoded payload before mutating any state
+// gets the "corrupt snapshot ⇒ zero partial restore" guarantee for free.
+//
+// Every error is typed: ErrTruncated for short reads, ErrChecksum for
+// integrity failures, *FormatError for bad magic or a kind mismatch,
+// *VersionError for an unknown container version, and *CompatError for
+// payload-level incompatibilities (a snapshot from a different
+// configuration). Callers branch with errors.Is / errors.As.
+package checkpoint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Version is the container format version written by Encode.
+const Version = 1
+
+// magic opens every snapshot file; eight bytes so hexdump shows it whole.
+var magic = [8]byte{'F', 'L', 'O', 'A', 'T', 'C', 'K', '\n'}
+
+// maxPayload bounds the declared payload length so a corrupt header
+// cannot drive a multi-terabyte allocation before the checksum check.
+const maxPayload = 1 << 32
+
+// ErrTruncated reports a snapshot that ends before its declared content.
+var ErrTruncated = errors.New("checkpoint: truncated snapshot")
+
+// ErrChecksum reports a snapshot whose bytes do not match its checksum.
+var ErrChecksum = errors.New("checkpoint: checksum mismatch")
+
+// FormatError reports a structurally invalid frame: wrong magic, or a
+// payload kind different from what the caller asked to decode.
+type FormatError struct{ Reason string }
+
+func (e *FormatError) Error() string { return "checkpoint: " + e.Reason }
+
+// VersionError reports a container version this build cannot read.
+type VersionError struct{ Got uint32 }
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("checkpoint: unsupported snapshot version %d (this build reads %d)", e.Got, Version)
+}
+
+// CompatError reports a payload that decoded cleanly but belongs to an
+// incompatible configuration — resuming it would silently diverge.
+type CompatError struct{ Field, Got, Want string }
+
+func (e *CompatError) Error() string {
+	return fmt.Sprintf("checkpoint: incompatible snapshot: %s is %q, this run has %q", e.Field, e.Got, e.Want)
+}
+
+// Stateful is the optional interface a component implements to join an
+// engine checkpoint. CheckpointState must be called only when the
+// component is quiescent (the engines' single-threaded collect boundary)
+// and must return a self-contained, deterministic encoding — byte-stable
+// across processes, so map-keyed state is emitted in sorted order.
+// RestoreCheckpoint replaces the component's mutable state with the
+// decoded blob; on error the component may be partially written and the
+// owning run must be abandoned (the container checksum upstream is what
+// guarantees corrupt files never reach this point).
+type Stateful interface {
+	CheckpointState() ([]byte, error)
+	RestoreCheckpoint(data []byte) error
+}
+
+// Encode writes one framed snapshot to w.
+func Encode(w io.Writer, kind string, payload []byte) error {
+	if len(kind) == 0 || len(kind) > 255 {
+		return &FormatError{Reason: fmt.Sprintf("invalid kind %q", kind)}
+	}
+	if len(payload) > maxPayload {
+		return &FormatError{Reason: "payload too large"}
+	}
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	var u32 [4]byte
+	binary.BigEndian.PutUint32(u32[:], Version)
+	buf.Write(u32[:])
+	buf.WriteByte(byte(len(kind)))
+	buf.WriteString(kind)
+	var u64 [8]byte
+	binary.BigEndian.PutUint64(u64[:], uint64(len(payload)))
+	buf.Write(u64[:])
+	buf.Write(payload)
+	sum := sha256.Sum256(buf.Bytes())
+	buf.Write(sum[:])
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// EncodeBytes is Encode into a fresh byte slice.
+func EncodeBytes(kind string, payload []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, kind, payload); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode reads one framed snapshot from r, verifies its integrity, and
+// returns the payload. kind must match the encoded kind exactly; pass the
+// same constant the writer used so an agent file cannot be fed to the
+// engine restore path (or vice versa).
+func Decode(r io.Reader, kind string) ([]byte, error) {
+	var head [8]byte
+	if err := readFull(r, head[:]); err != nil {
+		return nil, err
+	}
+	if head != magic {
+		return nil, &FormatError{Reason: "bad magic (not a snapshot file)"}
+	}
+	var u32 [4]byte
+	if err := readFull(r, u32[:]); err != nil {
+		return nil, err
+	}
+	version := binary.BigEndian.Uint32(u32[:])
+	if version != Version {
+		return nil, &VersionError{Got: version}
+	}
+	var klen [1]byte
+	if err := readFull(r, klen[:]); err != nil {
+		return nil, err
+	}
+	kb := make([]byte, int(klen[0]))
+	if err := readFull(r, kb); err != nil {
+		return nil, err
+	}
+	var u64 [8]byte
+	if err := readFull(r, u64[:]); err != nil {
+		return nil, err
+	}
+	plen := binary.BigEndian.Uint64(u64[:])
+	if plen > maxPayload {
+		return nil, &FormatError{Reason: "declared payload length too large"}
+	}
+	payload := make([]byte, int(plen))
+	if err := readFull(r, payload); err != nil {
+		return nil, err
+	}
+	var sum [sha256.Size]byte
+	if err := readFull(r, sum[:]); err != nil {
+		return nil, err
+	}
+	h := sha256.New()
+	h.Write(head[:])
+	h.Write(u32[:])
+	h.Write(klen[:])
+	h.Write(kb)
+	h.Write(u64[:])
+	h.Write(payload)
+	if !bytes.Equal(h.Sum(nil), sum[:]) {
+		return nil, ErrChecksum
+	}
+	// Kind is checked after the checksum: a mismatch on intact bytes is a
+	// caller error ("wrong file"), not corruption.
+	if string(kb) != kind {
+		return nil, &FormatError{Reason: fmt.Sprintf("snapshot holds %q, caller wants %q", string(kb), kind)}
+	}
+	return payload, nil
+}
+
+// DecodeBytes is Decode from an in-memory snapshot.
+func DecodeBytes(data []byte, kind string) ([]byte, error) {
+	return Decode(bytes.NewReader(data), kind)
+}
+
+// WriteFile encodes a snapshot to path atomically: the frame is written
+// to a temp file in the same directory and renamed into place, so a crash
+// mid-write never leaves a half snapshot where a resume flag points.
+func WriteFile(path, kind string, payload []byte) error {
+	data, err := EncodeBytes(kind, payload)
+	if err != nil {
+		return err
+	}
+	return WriteRaw(path, data)
+}
+
+// WriteRaw atomically writes an already-framed snapshot (the bytes an
+// engine checkpoint sink receives) to path via temp file + rename.
+func WriteRaw(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// ReadFile decodes a snapshot file written by WriteFile.
+func ReadFile(path, kind string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f, kind)
+}
+
+// readFull wraps io.ReadFull, mapping both flavors of early EOF onto the
+// package's typed truncation error.
+func readFull(r io.Reader, p []byte) error {
+	if _, err := io.ReadFull(r, p); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return ErrTruncated
+		}
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func encodeOrDie(t *testing.T, kind string, payload []byte) []byte {
+	t.Helper()
+	data, err := EncodeBytes(kind, payload)
+	if err != nil {
+		t.Fatalf("EncodeBytes: %v", err)
+	}
+	return data
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xA5}, 4096)} {
+		data := encodeOrDie(t, "test-kind", payload)
+		got, err := DecodeBytes(data, "test-kind")
+		if err != nil {
+			t.Fatalf("DecodeBytes(%d-byte payload): %v", len(payload), err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("payload mismatch: got %d bytes, want %d", len(got), len(payload))
+		}
+	}
+}
+
+// TestTruncationEveryByte decodes every proper prefix of a valid frame:
+// each must fail with ErrTruncated — never a nil error, never a partial
+// payload, never an untyped error.
+func TestTruncationEveryByte(t *testing.T) {
+	data := encodeOrDie(t, "trunc", []byte("small deterministic payload"))
+	for n := 0; n < len(data); n++ {
+		_, err := DecodeBytes(data[:n], "trunc")
+		if err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", n, len(data))
+		}
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("prefix of %d/%d bytes: got %v, want ErrTruncated", n, len(data), err)
+		}
+	}
+}
+
+// TestCorruptionEveryByte flips each byte of a valid frame in turn; every
+// mutation must surface as one of the package's typed errors.
+func TestCorruptionEveryByte(t *testing.T) {
+	data := encodeOrDie(t, "corrupt", []byte("small deterministic payload"))
+	for i := range data {
+		bad := append([]byte(nil), data...)
+		bad[i] ^= 0xFF
+		_, err := DecodeBytes(bad, "corrupt")
+		if err == nil {
+			t.Fatalf("flipping byte %d decoded without error", i)
+		}
+		var fe *FormatError
+		var ve *VersionError
+		switch {
+		case errors.Is(err, ErrTruncated), errors.Is(err, ErrChecksum):
+		case errors.As(err, &fe), errors.As(err, &ve):
+		default:
+			t.Fatalf("flipping byte %d: untyped error %v", i, err)
+		}
+	}
+}
+
+func TestKindMismatch(t *testing.T) {
+	data := encodeOrDie(t, "rl-agent", []byte("{}"))
+	_, err := DecodeBytes(data, "fl-engine")
+	var fe *FormatError
+	if !errors.As(err, &fe) {
+		t.Fatalf("kind mismatch: got %v, want *FormatError", err)
+	}
+}
+
+func TestVersionMismatch(t *testing.T) {
+	data := encodeOrDie(t, "v", []byte("payload"))
+	data[8+3] = 99 // low byte of the big-endian version field
+	_, err := DecodeBytes(data, "v")
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("future version: got %v, want *VersionError", err)
+	}
+	if ve.Got != 99 {
+		t.Fatalf("VersionError.Got = %d, want 99", ve.Got)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	data := encodeOrDie(t, "m", []byte("payload"))
+	data[0] = 'X'
+	_, err := DecodeBytes(data, "m")
+	var fe *FormatError
+	if !errors.As(err, &fe) {
+		t.Fatalf("bad magic: got %v, want *FormatError", err)
+	}
+}
+
+func TestTrailingGarbageIgnored(t *testing.T) {
+	// Decode consumes exactly one frame; bytes after it (a follow-up frame
+	// in the same stream) are not an error.
+	data := encodeOrDie(t, "t", []byte("payload"))
+	got, err := DecodeBytes(append(data, 0xDE, 0xAD), "t")
+	if err != nil {
+		t.Fatalf("trailing bytes: %v", err)
+	}
+	if string(got) != "payload" {
+		t.Fatalf("payload = %q", got)
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.ck")
+	if err := WriteFile(path, "file-kind", []byte("on disk")); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path, "file-kind")
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if string(got) != "on disk" {
+		t.Fatalf("payload = %q", got)
+	}
+	// No temp litter left behind by the atomic write.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries after WriteFile, want 1", len(entries))
+	}
+}
+
+func TestCompatErrorMessage(t *testing.T) {
+	err := &CompatError{Field: "arch", Got: "resnet34", Want: "shufflenet"}
+	want := `checkpoint: incompatible snapshot: arch is "resnet34", this run has "shufflenet"`
+	if err.Error() != want {
+		t.Fatalf("CompatError.Error() = %q, want %q", err.Error(), want)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"floatfl/internal/obs"
 	"floatfl/internal/opt"
 	"floatfl/internal/rl"
+	"floatfl/internal/rngstate"
 )
 
 // Config tunes a FLOAT controller.
@@ -297,13 +298,15 @@ func (f *Float) LoadAgent(r io.Reader) error {
 type Heuristic struct {
 	bins int
 	rng  *rand.Rand
+	src  *rngstate.Source
 }
 
 var _ fl.Controller = (*Heuristic)(nil)
 
 // NewHeuristic constructs the heuristic controller.
 func NewHeuristic(seed int64) *Heuristic {
-	return &Heuristic{bins: rl.DefaultBins, rng: rand.New(rand.NewSource(seed))}
+	src := rngstate.New(seed)
+	return &Heuristic{bins: rl.DefaultBins, rng: rand.New(src), src: src}
 }
 
 // Name implements fl.Controller.

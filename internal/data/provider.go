@@ -242,6 +242,22 @@ func (pr *Provider) MeanShardSize(sampleCap int) int {
 // Stats returns the working-set cache counters.
 func (pr *Provider) Stats() wset.Stats { return pr.cache.Stats() }
 
+// UnpinnedResidents returns the unpinned resident shard IDs in
+// least-recently-used-first order. Shards are immutable, so residency plus
+// cache stats is the provider's whole checkpointable state.
+func (pr *Provider) UnpinnedResidents() []int { return pr.cache.UnpinnedKeys() }
+
+// WarmCache derives the given shards in order, re-populating cache
+// residency after a restore; the caller overwrites stats afterwards.
+func (pr *Provider) WarmCache(ids []int) {
+	for _, id := range ids {
+		pr.Shard(id)
+	}
+}
+
+// SetCacheStats overwrites the cache activity counters with captured ones.
+func (pr *Provider) SetCacheStats(s wset.Stats) { pr.cache.SetStats(s) }
+
 // Materialize eagerly derives every client into a Federation — the
 // adapter that lets lazy-provider populations feed any API still wanting
 // dense arrays, and the oracle the order-independence tests compare

@@ -119,6 +119,54 @@ func (p *Provider) EstimateClean(id int, w WorkSpec) float64 {
 // Stats returns the working-set cache counters.
 func (p *Provider) Stats() wset.Stats { return p.cache.Stats() }
 
+// DrainState returns a copy of every drain log the provider knows about:
+// the evicted-client store plus the logs of currently resident (pinned or
+// not) clients. Together with the population config it is the provider's
+// complete client-visible mutable state.
+func (p *Provider) DrainState() map[int][]trace.DrainEvent {
+	logs := make(map[int][]trace.DrainEvent, len(p.drainLogs))
+	for id, log := range p.drainLogs {
+		logs[id] = append([]trace.DrainEvent(nil), log...)
+	}
+	p.cache.Range(func(id int, c *Client, pinned bool) {
+		if log := c.Avail.DrainLog(); log != nil {
+			logs[id] = log
+		}
+	})
+	return logs
+}
+
+// RestoreDrainState installs a captured drain-log map. The provider must
+// be fresh — never having derived a client — so every future derivation
+// replays its log from step zero.
+func (p *Provider) RestoreDrainState(logs map[int][]trace.DrainEvent) error {
+	if p.cache.Len() != 0 || len(p.drainLogs) != 0 {
+		return fmt.Errorf("device: drain-state restore requires a fresh provider (cache %d, logs %d)",
+			p.cache.Len(), len(p.drainLogs))
+	}
+	for id, log := range logs {
+		p.drainLogs[id] = append([]trace.DrainEvent(nil), log...)
+	}
+	return nil
+}
+
+// UnpinnedResidents returns the unpinned resident client IDs in
+// least-recently-used-first order — the replay order WarmCache needs to
+// reconstruct the LRU list.
+func (p *Provider) UnpinnedResidents() []int { return p.cache.UnpinnedKeys() }
+
+// WarmCache derives the given clients in order, re-populating cache
+// residency after a restore. The caller overwrites cache stats afterwards
+// (SetCacheStats), so the warm-up's own misses never reach telemetry.
+func (p *Provider) WarmCache(ids []int) {
+	for _, id := range ids {
+		p.Client(id)
+	}
+}
+
+// SetCacheStats overwrites the cache activity counters with captured ones.
+func (p *Provider) SetCacheStats(s wset.Stats) { p.cache.SetStats(s) }
+
 // Materialize eagerly derives the whole population — the adapter for dense
 // []*Client consumers and the oracle for order-independence tests. It
 // bypasses the cache; any previously captured drain logs are replayed so

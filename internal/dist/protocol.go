@@ -162,4 +162,20 @@ type StatusResponse struct {
 	PartialAggregations int `json:"partial_aggregations"`
 	// Drops tallies dropouts by device.DropReason string.
 	Drops map[string]int `json:"drops,omitempty"`
+	// Draining reports drain mode (POST /v1/drain): no new tasks are
+	// handed out, so Outstanding only falls.
+	Draining bool `json:"draining,omitempty"`
+}
+
+// DrainRequest toggles drain mode; an empty body starts draining.
+type DrainRequest struct {
+	Off bool `json:"off,omitempty"`
+}
+
+// DrainResponse reports drain state and the work still in flight; poll
+// /v1/status until Outstanding reaches zero, then GET /v1/snapshot.
+type DrainResponse struct {
+	Draining        bool `json:"draining"`
+	Outstanding     int  `json:"outstanding"`
+	BufferedUpdates int  `json:"buffered_updates"`
 }

@@ -69,6 +69,9 @@ type Server struct {
 	global *nn.Model
 	round  int
 	closed bool
+	// draining stops new task hand-outs (POST /v1/drain) so outstanding
+	// work converges to zero ahead of a GET /v1/snapshot.
+	draining bool
 
 	nextClientID int
 	clients      map[int]*clientInfo
@@ -183,6 +186,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/update", s.handleUpdate)
 	mux.HandleFunc("/v1/status", s.handleStatus)
 	mux.HandleFunc("/v1/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/v1/drain", s.handleDrain)
 	return mux
 }
 
@@ -242,9 +247,10 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 	}
 	if ci.taskRound == s.round {
 		// Already holds this round's task; re-issue idempotently and renew
-		// the lease (the client is demonstrably alive).
+		// the lease (the client is demonstrably alive). Drain mode does not
+		// block re-issues — a drain must not strand a mid-training client.
 		s.grantLeaseLocked(req.ClientID, ci)
-	} else if s.outstanding >= s.cfg.MaxOutstanding {
+	} else if s.draining || s.outstanding >= s.cfg.MaxOutstanding {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	} else {
@@ -403,6 +409,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp := StatusResponse{
+		Draining:            s.draining,
 		Round:               s.round,
 		Registered:          len(s.clients),
 		HoldoutAcc:          s.holdoutAcc,

@@ -1,0 +1,176 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"testing"
+
+	"floatfl/internal/checkpoint"
+	"floatfl/internal/core"
+	"floatfl/internal/rl"
+)
+
+func postDrain(t *testing.T, url string, off bool) DrainResponse {
+	t.Helper()
+	body, _ := json.Marshal(DrainRequest{Off: off})
+	resp, err := http.Post(url+"/v1/drain", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out DrainResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func getSnapshot(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/snapshot: %s", resp.Status)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// TestDrainStopsNewTasks pins the drain protocol: while draining the
+// server hands out no new tasks, and turning drain off re-opens hand-out.
+func TestDrainStopsNewTasks(t *testing.T) {
+	srv, hs, fed := testServer(t, nil, 2)
+	c := registeredClient(t, hs, fed, 0)
+	ctx := context.Background()
+
+	dr := postDrain(t, hs.URL, false)
+	if !dr.Draining {
+		t.Fatal("drain did not engage")
+	}
+	if !srv.Draining() {
+		t.Fatal("server does not report draining")
+	}
+	if ok, err := c.Step(ctx, 0); err != nil || ok {
+		t.Fatalf("Step while draining: ok=%v err=%v, want a declined task", ok, err)
+	}
+	var st StatusResponse
+	st, err := c.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Draining {
+		t.Fatal("status does not report draining")
+	}
+
+	if dr := postDrain(t, hs.URL, true); dr.Draining {
+		t.Fatal("drain did not disengage")
+	}
+	if ok, err := c.Step(ctx, 0); err != nil || !ok {
+		t.Fatalf("Step after drain off: ok=%v err=%v, want participation", ok, err)
+	}
+}
+
+// TestSnapshotRestore drives a server through an aggregation, snapshots it
+// over HTTP, restores into a freshly built server, and requires the
+// restored server to re-snapshot byte-identically — round, global model,
+// client registry, controller state, and metrics all carried over.
+func TestSnapshotRestore(t *testing.T) {
+	mkCtrl := func() *core.Float {
+		return core.New(core.Config{
+			Agent:           rl.Config{Seed: 17, TotalRounds: 50},
+			BatchSize:       16,
+			Epochs:          2,
+			ClientsPerRound: 2,
+		})
+	}
+	srv, hs, fed := testServer(t, mkCtrl(), 2)
+	ctx := context.Background()
+	c0 := registeredClient(t, hs, fed, 0)
+	c1 := registeredClient(t, hs, fed, 1)
+	for _, c := range []*Client{c0, c1} {
+		if ok, err := c.Step(ctx, 0); err != nil || !ok {
+			t.Fatalf("Step: ok=%v err=%v", ok, err)
+		}
+	}
+	if srv.Round() != 1 {
+		t.Fatalf("round %d after 2 updates with k=2, want 1", srv.Round())
+	}
+
+	postDrain(t, hs.URL, false)
+	blob := getSnapshot(t, hs.URL)
+
+	// A fresh server with an equivalent config; its own model init and
+	// zeroed counters must all be overwritten by the restore.
+	srv2, hs2, _ := testServer(t, mkCtrl(), 2)
+	if err := srv2.RestoreSnapshot(blob); err != nil {
+		t.Fatal(err)
+	}
+	if srv2.Round() != srv.Round() {
+		t.Fatalf("restored round %d, want %d", srv2.Round(), srv.Round())
+	}
+	if srv2.HoldoutAccuracy() != srv.HoldoutAccuracy() {
+		t.Fatalf("restored holdout %v, want %v", srv2.HoldoutAccuracy(), srv.HoldoutAccuracy())
+	}
+	blob2 := getSnapshot(t, hs2.URL)
+	if !bytes.Equal(blob, blob2) {
+		t.Fatalf("restore → snapshot is not a fixed point (%dB vs %dB)", len(blob), len(blob2))
+	}
+
+	// Registration stays idempotent across the restore: the same client
+	// name must resolve to its old identity, not a duplicate.
+	var reg RegisterResponse
+	body, _ := json.Marshal(RegisterRequest{Name: c0.Name, GFLOPS: 15, MemoryMB: 3000})
+	resp, err := http.Post(hs2.URL+"/v1/register", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if reg.ClientID != c0.ID() {
+		t.Fatalf("re-register after restore gave ID %d, want %d", reg.ClientID, c0.ID())
+	}
+}
+
+// TestSnapshotRestoreRejectsBadBlob pins clean failure: corruption and
+// truncation surface as the typed checkpoint errors and leave the target
+// server untouched.
+func TestSnapshotRestoreRejectsBadBlob(t *testing.T) {
+	srv, hs, _ := testServer(t, nil, 2)
+	blob := getSnapshot(t, hs.URL)
+
+	srv2, hs2, _ := testServer(t, nil, 2)
+	before := getSnapshot(t, hs2.URL)
+
+	corrupt := append([]byte(nil), blob...)
+	corrupt[len(corrupt)/2] ^= 0x41
+	if err := srv2.RestoreSnapshot(corrupt); !errors.Is(err, checkpoint.ErrChecksum) {
+		t.Fatalf("corrupt blob: got %v, want ErrChecksum", err)
+	}
+	if err := srv2.RestoreSnapshot(blob[:len(blob)-3]); !errors.Is(err, checkpoint.ErrTruncated) {
+		t.Fatalf("truncated blob: got %v, want ErrTruncated", err)
+	}
+	wrongKind, err := checkpoint.EncodeBytes("engine-sync", []byte("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fe *checkpoint.FormatError
+	if err := srv2.RestoreSnapshot(wrongKind); !errors.As(err, &fe) {
+		t.Fatalf("wrong kind: got %v, want FormatError", err)
+	}
+	if after := getSnapshot(t, hs2.URL); !bytes.Equal(before, after) {
+		t.Fatal("failed restores mutated the server")
+	}
+	_ = srv
+}

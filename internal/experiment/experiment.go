@@ -58,6 +58,10 @@ type Scale struct {
 	// EvalClients caps the final per-client evaluation sweep (<= 0
 	// evaluates everyone — the classic behavior, infeasible at scale).
 	EvalClients int
+	// Checkpoint, when non-nil, threads crash-safe snapshot/resume hooks
+	// into the run (fl.Config.Checkpoint). Nil keeps the engines on the
+	// zero-overhead path used by every published figure and bench.
+	Checkpoint *fl.CheckpointConfig
 }
 
 // Quick is a CI-sized scale that preserves the figures' shapes.

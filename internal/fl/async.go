@@ -13,6 +13,7 @@ import (
 	"floatfl/internal/obs"
 	"floatfl/internal/opt"
 	"floatfl/internal/population"
+	"floatfl/internal/rngstate"
 	"floatfl/internal/selection"
 	"floatfl/internal/tensor"
 )
@@ -149,7 +150,8 @@ func RunAsyncPop(p *population.Population, ctrl Controller, cfg Config) (*Result
 		return nil, err
 	}
 	profile := p.Profile()
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	src := rngstate.New(cfg.Seed)
+	rng := rand.New(src)
 	global, err := nn.NewModel(cfg.Arch, profile.Dim, profile.Classes, rng)
 	if err != nil {
 		return nil, err
@@ -287,6 +289,25 @@ func RunAsyncPop(p *population.Population, ctrl Controller, cfg Config) (*Result
 
 	aggregations := 0
 	evalCountdown := cfg.EvalEvery
+
+	// Checkpoint seam: restore against the freshly initialized state
+	// above; boundary hooks fire at the end of every aggregation barrier —
+	// the async engine's quiescent point, where the buffered-job and
+	// pending-event queues are empty and only the task heap is in flight.
+	ckState := &asyncRunState{
+		cfg: cfg, p: p, ctrl: ctrl, global: global, res: res,
+		hfDiff: hfDiff, src: src, timeout: timeout, useLazyLaunch: useLazyLaunch,
+		versions: versions, version: &version, now: &now,
+		evalCountdown: &evalCountdown, tasks: &tasks, inFlight: inFlight,
+	}
+	if cfg.Checkpoint != nil && len(cfg.Checkpoint.Resume) > 0 {
+		a, err := ckState.restore(cfg.Checkpoint.Resume)
+		if err != nil {
+			return nil, fmt.Errorf("fl: resume: %w", err)
+		}
+		aggregations = a
+	}
+
 	for aggregations < cfg.Rounds {
 		if err := launch(); err != nil {
 			return nil, err
@@ -410,11 +431,19 @@ func RunAsyncPop(p *population.Population, ctrl Controller, cfg Config) (*Result
 		// Publish population-cache telemetry at this schedule-determined
 		// point so exposition bytes never depend on Parallelism.
 		p.FlushObs()
+		if stop, err := ckState.boundary(aggregations); err != nil {
+			return nil, err
+		} else if stop {
+			break
+		}
 	}
 
 	// FedBuff's over-selection bill: every task still in flight when the
 	// target aggregation count is reached consumed resources that never
-	// reach the model (Fig 2b / Fig 12's FedBuff inefficiency).
+	// reach the model (Fig 2b / Fig 12's FedBuff inefficiency). On a
+	// graceful checkpoint stop the same drain applies — the discards land
+	// in this (partial) Result but not in the snapshot, which captured the
+	// tasks as still in flight so the resumed run can finish them.
 	for tasks.Len() > 0 {
 		task := heap.Pop(&tasks).(asyncTask)
 		res.Ledger.RecordDiscarded(task.clientID, task.tech, task.outcome)
@@ -425,6 +454,8 @@ func RunAsyncPop(p *population.Population, ctrl Controller, cfg Config) (*Result
 
 	res.WallClockSeconds = now
 	res.Ledger.WallClockSeconds = now
+	res.CompletedRounds = aggregations
+	res.SimClockSeconds = now
 	res.FinalClientAccs = evaluateClientsPop(global, p, cfg.EvalClients)
 	res.FinalAccStats = metrics.ComputeAccuracyStats(res.FinalClientAccs)
 	res.FinalGlobalAcc, _ = global.Evaluate(p.GlobalTest())

@@ -136,6 +136,11 @@ type Config struct {
 	// O(sample), not O(population).
 	EvalClients int
 
+	// Checkpoint wires snapshot/resume and graceful-stop control into the
+	// run (nil disables; the hot loops then pay one nil check per
+	// boundary).
+	Checkpoint *CheckpointConfig
+
 	// forceLazySelection routes selection through the LazySelector path
 	// even for an eager population. Test-only: it lets the equivalence
 	// tests run the identical selection schedule against eager and lazy
@@ -216,6 +221,18 @@ type Result struct {
 
 	WallClockSeconds float64
 	DeadlineSec      float64
+
+	// CompletedRounds is how many rounds (sync) or aggregations (async)
+	// actually executed — equal to Config.Rounds for a full run, fewer
+	// when a CheckpointConfig.Stop drain ended the run early. A resumed
+	// run counts from round zero, so an N-round snapshot resumed for N
+	// more reports 2N.
+	CompletedRounds int
+	// SimClockSeconds is the engine's virtual clock at the end of the run.
+	// For a full run it equals WallClockSeconds; it is reported separately
+	// so partial (drained) runs still expose the exact simulation time
+	// their snapshot will resume from.
+	SimClockSeconds float64
 
 	// FinalParams is a frozen copy of the global model's flat parameter
 	// vector at the end of the run. It is what the determinism regression

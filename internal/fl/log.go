@@ -29,7 +29,7 @@ type ClientRoundLog struct {
 	CommSeconds    float64 `json:"comm_s"`
 	UploadBytes    float64 `json:"upload_bytes"`
 	DownloadBytes  float64 `json:"download_bytes"`
-	MemoryBytes float64 `json:"memory_bytes"`
+	MemoryBytes    float64 `json:"memory_bytes"`
 	// DeadlineDiff is always emitted: a zero is a legitimate value (the
 	// client finished exactly on the deadline), not an absent one, so it
 	// must not be dropped by omitempty.

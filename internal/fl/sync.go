@@ -11,6 +11,7 @@ import (
 	"floatfl/internal/obs"
 	"floatfl/internal/opt"
 	"floatfl/internal/population"
+	"floatfl/internal/rngstate"
 	"floatfl/internal/selection"
 	"floatfl/internal/tensor"
 )
@@ -100,7 +101,8 @@ func RunSyncPop(p *population.Population, sel selection.Selector,
 		return nil, err
 	}
 	profile := p.Profile()
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	src := rngstate.New(cfg.Seed)
+	rng := rand.New(src)
 	global, err := nn.NewModel(cfg.Arch, profile.Dim, profile.Classes, rng)
 	if err != nil {
 		return nil, err
@@ -137,7 +139,24 @@ func RunSyncPop(p *population.Population, sel selection.Selector,
 	eo := newEngineObs(cfg.Metrics, cfg.Tracer)
 	pop := p.AllClients() // nil in lazy mode
 
-	for round := 0; round < cfg.Rounds; round++ {
+	// Checkpoint seam: restore runs against the freshly initialized state
+	// above, before the first round; boundary hooks fire at the end of
+	// every round — the engine's quiescent point.
+	ckState := &syncRunState{
+		cfg: cfg, p: p, sel: sel, ctrl: ctrl, global: global, res: res,
+		hfDiff: hfDiff, src: src, deadline: deadline, useLazySel: useLazySel,
+	}
+	startRound := 0
+	if cfg.Checkpoint != nil && len(cfg.Checkpoint.Resume) > 0 {
+		r, err := ckState.restore(cfg.Checkpoint.Resume)
+		if err != nil {
+			return nil, fmt.Errorf("fl: resume: %w", err)
+		}
+		startRound = r
+	}
+	completed := startRound
+
+	for round := startRound; round < cfg.Rounds; round++ {
 		// Virtual time at which this round starts; all spans for the round
 		// are anchored to it, so traces never depend on wall clock.
 		roundStart := res.WallClockSeconds
@@ -148,6 +167,12 @@ func RunSyncPop(p *population.Population, sel selection.Selector,
 			// walk instead of the eager path's O(population) check-in scan.
 			ids = lazySel.SelectLazy(info, p, cfg.ClientsPerRound)
 			if len(ids) == 0 {
+				completed = round + 1
+				if stop, err := ckState.boundary(completed); err != nil {
+					return nil, err
+				} else if stop {
+					break
+				}
 				continue
 			}
 		} else {
@@ -161,6 +186,12 @@ func RunSyncPop(p *population.Population, sel selection.Selector,
 				}
 			}
 			if len(checkedIn) == 0 {
+				completed = round + 1
+				if stop, err := ckState.boundary(completed); err != nil {
+					return nil, err
+				} else if stop {
+					break
+				}
 				continue
 			}
 			ids = sel.Select(info, checkedIn, cfg.ClientsPerRound)
@@ -305,8 +336,16 @@ func RunSyncPop(p *population.Population, sel selection.Selector,
 		// Publish population-cache telemetry at this schedule-determined
 		// point so exposition bytes never depend on Parallelism.
 		p.FlushObs()
+		completed = round + 1
+		if stop, err := ckState.boundary(completed); err != nil {
+			return nil, err
+		} else if stop {
+			break
+		}
 	}
 
+	res.CompletedRounds = completed
+	res.SimClockSeconds = res.WallClockSeconds
 	res.FinalClientAccs = evaluateClientsPop(global, p, cfg.EvalClients)
 	res.FinalAccStats = metrics.ComputeAccuracyStats(res.FinalClientAccs)
 	res.FinalGlobalAcc, _ = global.Evaluate(p.GlobalTest())

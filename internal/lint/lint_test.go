@@ -21,6 +21,7 @@ var badFixtures = []struct {
 	{"no-global-rand", "rand_bad.go"},
 	{"map-order-hazard", "maporder_bad.go"},
 	{"map-order-hazard", "popcache_bad.go"},
+	{"map-order-hazard", "ckptstate_bad.go"},
 	{"flat-view-mutation", "flatview_bad.go"},
 	{"naked-goroutine", "goroutine_bad.go"},
 	{"tensor-backend", "backend_bad.go"},
@@ -34,6 +35,7 @@ var okFixtures = []string{
 	"rand_ok.go",
 	"maporder_ok.go",
 	"popcache_ok.go",
+	"ckptstate_ok.go",
 	"flatview_ok.go",
 	"goroutine_ok.go",
 	"backend_ok.go",

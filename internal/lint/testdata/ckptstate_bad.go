@@ -1,0 +1,49 @@
+// Fixture: the snapshot-encoder shapes of the checkpoint layer — flat
+// params keyed per version, per-client controller blobs, and sparse
+// hfDiff maps, all serialized into one JSON payload whose bytes must be
+// identical run over run. Ranging over any of these maps while appending
+// to the payload (or accumulating a float digest) bakes map iteration
+// order into the snapshot, so two checkpoints of identical state stop
+// comparing equal; the map-order-hazard rule must flag each shape.
+package fixture
+
+type versionEntry struct {
+	Version int
+	Params  []float64
+}
+
+// Serializing the async engine's live version table straight out of the
+// map range writes entries in a different order every snapshot.
+func encodeVersions(versions map[int][]float64) []versionEntry {
+	var out []versionEntry
+	for v, p := range versions {
+		out = append(out, versionEntry{Version: v, Params: p}) // want map-order-hazard (snapshot entry order escapes)
+	}
+	return out
+}
+
+type agentBlob struct {
+	ClientID int
+	State    []byte
+}
+
+// Per-client controller state appended in map order: the restored agents
+// are fine, but the snapshot bytes (and any checksum over them) differ
+// between two captures of the same run.
+func encodePerClientAgents(agents map[int][]byte) []agentBlob {
+	var blobs []agentBlob
+	for id, st := range agents {
+		blobs = append(blobs, agentBlob{ClientID: id, State: st}) // want map-order-hazard (blob order nondeterministic)
+	}
+	return blobs
+}
+
+// A float digest over the sparse deadline-diff map: accumulation order
+// changes the low bits, so the "same" state hashes differently.
+func hfDiffDigest(hfDiff map[int]float64) float64 {
+	var digest float64
+	for id, v := range hfDiff {
+		digest += float64(id) * v // want map-order-hazard (float accumulation)
+	}
+	return digest
+}

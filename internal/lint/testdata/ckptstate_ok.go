@@ -1,0 +1,60 @@
+// Fixture: the sanctioned snapshot-encoder idioms — the collect-keys,
+// sort, then append order used by every checkpoint serializer in this
+// repository, which keeps snapshot bytes independent of map iteration
+// order. Must produce zero findings.
+package fixture
+
+import "sort"
+
+type versionRecord struct {
+	Version int
+	Params  []float64
+}
+
+// The fl engine's shape: version numbers are collected and sorted before
+// any entry reaches the payload slice.
+func encodeVersionsSorted(versions map[int][]float64) []versionRecord {
+	nums := make([]int, 0, len(versions))
+	for v := range versions {
+		nums = append(nums, v)
+	}
+	sort.Ints(nums)
+	out := make([]versionRecord, 0, len(nums))
+	for _, v := range nums {
+		out = append(out, versionRecord{Version: v, Params: versions[v]})
+	}
+	return out
+}
+
+type clientBlob struct {
+	ClientID int
+	State    []byte
+}
+
+// The per-client controller shape: blobs are emitted in ascending client
+// ID, so two snapshots of identical state are byte-identical.
+func encodeAgentsSorted(agents map[int][]byte) []clientBlob {
+	ids := make([]int, 0, len(agents))
+	for id := range agents {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	blobs := make([]clientBlob, 0, len(ids))
+	for _, id := range ids {
+		blobs = append(blobs, clientBlob{ClientID: id, State: agents[id]})
+	}
+	return blobs
+}
+
+// Per-key transcription into another map is order-independent: encoders
+// may re-key hfDiff (int → string for JSON) freely because JSON object
+// marshaling sorts keys itself.
+func hfDiffRekey(hfDiff map[int]float64) map[string]float64 {
+	out := make(map[string]float64, len(hfDiff))
+	for id, v := range hfDiff {
+		out[itoaKey(id)] = v
+	}
+	return out
+}
+
+func itoaKey(int) string { return "" }

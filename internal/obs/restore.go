@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"sync/atomic"
+)
+
+// RestoreSnapshot overwrites the registry's state with a previously
+// captured Snapshot, so a resumed run's exposition continues byte-for-byte
+// where the snapshotted run left off.
+//
+// Semantics are hard-set, not merge: every metric named in the snapshot is
+// created if absent and set to exactly the recorded value, and every
+// already-registered metric absent from the snapshot is reset to zero.
+// The second half matters for resume ordering — engine restore re-derives
+// cached state (population warm-up, task re-acquisition) before calling
+// this, and the hard overwrite erases whatever counter or histogram noise
+// that rebuilding produced. Existing handles stay valid: values are stored
+// through the registered objects, never by replacing them.
+//
+// The snapshot is validated before any metric is touched; on error the
+// registry is unchanged.
+func (r *Registry) RestoreSnapshot(s Snapshot) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	// Validation pass: kind clashes and malformed histograms must surface
+	// before the first write, so a bad snapshot cannot half-apply.
+	for _, c := range s.Counters {
+		if err := r.restorableLocked(c.Name, "counter"); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if err := r.restorableLocked(g.Name, "gauge"); err != nil {
+			return err
+		}
+	}
+	type histPlan struct {
+		snap   HistogramSnapshot
+		bounds []float64 // parsed from bucket LEs when the histogram is new
+		perBkt []int64   // de-cumulated per-bucket counts
+	}
+	plans := make([]histPlan, 0, len(s.Histograms))
+	for _, hs := range s.Histograms {
+		if err := r.restorableLocked(hs.Name, "histogram"); err != nil {
+			return err
+		}
+		plan := histPlan{snap: hs}
+		if len(hs.Buckets) == 0 || hs.Buckets[len(hs.Buckets)-1].LE != "+Inf" {
+			return fmt.Errorf("obs: restore: histogram %q buckets must end with +Inf", hs.Name)
+		}
+		prev := int64(0)
+		for i, b := range hs.Buckets {
+			if b.Count < prev {
+				return fmt.Errorf("obs: restore: histogram %q bucket %d count decreases", hs.Name, i)
+			}
+			plan.perBkt = append(plan.perBkt, b.Count-prev)
+			prev = b.Count
+			if i == len(hs.Buckets)-1 {
+				continue
+			}
+			bound, err := strconv.ParseFloat(b.LE, 64)
+			if err != nil {
+				return fmt.Errorf("obs: restore: histogram %q bucket bound %q: %v", hs.Name, b.LE, err)
+			}
+			plan.bounds = append(plan.bounds, bound)
+		}
+		if h, ok := r.histograms[hs.Name]; ok {
+			if len(h.counts) != len(hs.Buckets) {
+				return fmt.Errorf("obs: restore: histogram %q has %d buckets registered, snapshot has %d",
+					hs.Name, len(h.counts), len(hs.Buckets))
+			}
+			for i := range plan.bounds {
+				if formatFloat(h.bounds[i]) != hs.Buckets[i].LE {
+					return fmt.Errorf("obs: restore: histogram %q bucket %d bound is %s registered vs %s in snapshot",
+						hs.Name, i, formatFloat(h.bounds[i]), hs.Buckets[i].LE)
+				}
+			}
+		}
+		plans = append(plans, plan)
+	}
+
+	// Apply pass. Reset everything, then set the recorded values.
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.bits.Store(0)
+	}
+	for _, h := range r.histograms {
+		for i := range h.counts {
+			h.counts[i].Store(0)
+		}
+		h.sumMicros.Store(0)
+		h.total.Store(0)
+	}
+	for _, cs := range s.Counters {
+		c, ok := r.counters[cs.Name]
+		if !ok {
+			c = &Counter{}
+			r.counters[cs.Name] = c
+		}
+		c.v.Store(cs.Value)
+	}
+	for _, gs := range s.Gauges {
+		g, ok := r.gauges[gs.Name]
+		if !ok {
+			g = &Gauge{}
+			r.gauges[gs.Name] = g
+		}
+		g.bits.Store(math.Float64bits(gs.Value))
+	}
+	for _, plan := range plans {
+		h, ok := r.histograms[plan.snap.Name]
+		if !ok {
+			h = &Histogram{
+				bounds: plan.bounds,
+				counts: make([]atomic.Int64, len(plan.snap.Buckets)),
+			}
+			r.histograms[plan.snap.Name] = h
+		}
+		for i, n := range plan.perBkt {
+			h.counts[i].Store(n)
+		}
+		h.total.Store(plan.snap.Count)
+		// Sum is the fixed-point accumulator divided by sumScale; the
+		// inverse round-trips exactly at any realistic magnitude, so the
+		// restored exposition renders the identical float.
+		h.sumMicros.Store(int64(math.Round(plan.snap.Sum * sumScale)))
+	}
+	return nil
+}
+
+// restorableLocked reports whether name can be restored as kind — the
+// error-returning analog of checkNameLocked (restore handles untrusted
+// files, so clashes must not panic).
+func (r *Registry) restorableLocked(name, kind string) error {
+	if name == "" {
+		return fmt.Errorf("obs: restore: empty metric name")
+	}
+	if _, ok := r.counters[name]; ok && kind != "counter" {
+		return fmt.Errorf("obs: restore: %q already registered as a counter, snapshot has a %s", name, kind)
+	}
+	if _, ok := r.gauges[name]; ok && kind != "gauge" {
+		return fmt.Errorf("obs: restore: %q already registered as a gauge, snapshot has a %s", name, kind)
+	}
+	if _, ok := r.histograms[name]; ok && kind != "histogram" {
+		return fmt.Errorf("obs: restore: %q already registered as a histogram, snapshot has a %s", name, kind)
+	}
+	return nil
+}

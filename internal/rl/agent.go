@@ -8,6 +8,7 @@ import (
 
 	"floatfl/internal/obs"
 	"floatfl/internal/opt"
+	"floatfl/internal/rngstate"
 )
 
 // Config tunes the RLHF agent. Zero values get paper defaults; the boolean
@@ -86,6 +87,7 @@ type Agent struct {
 	cfg     Config
 	actions []opt.Technique
 	rng     *rand.Rand
+	src     *rngstate.Source
 
 	// table maps State.Key -> per-action cells. Only visited states are
 	// materialized, keeping the memory overhead tiny (Fig 8).
@@ -147,10 +149,12 @@ func NewAgent(cfg Config) *Agent {
 	if len(actions) == 0 {
 		actions = opt.Actions()
 	}
+	src := rngstate.New(cfg.Seed)
 	return &Agent{
 		cfg:      cfg,
 		actions:  append([]opt.Technique(nil), actions...),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		rng:      rand.New(src),
+		src:      src,
 		table:    make(map[int][]cell),
 		accCache: make(map[int]float64),
 	}

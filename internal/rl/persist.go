@@ -5,7 +5,13 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+
+	"floatfl/internal/checkpoint"
 )
+
+// AgentSnapshotKind is the checkpoint-frame kind Save writes and Load
+// expects, so an agent file can never be fed to the engine restore path.
+const AgentSnapshotKind = "rl-agent"
 
 // snapshot is the serialized form of an agent's learned state. It carries
 // enough metadata to refuse loads into an incompatible agent (different
@@ -20,10 +26,10 @@ type snapshot struct {
 
 const snapshotVersion = 1
 
-// Save writes the agent's Q-table and feedback cache as JSON. This is what
-// makes the RLHF agent reusable across workloads (RQ3 / Fig 9): pre-train
-// on one dataset, Save, Load into a new deployment, fine-tune online.
-func (a *Agent) Save(w io.Writer) error {
+// buildSnapshot captures the agent's learned state (Q-table and feedback
+// cache). encoding/json emits map keys sorted, so the marshaled form is
+// byte-stable for identical agent state.
+func (a *Agent) buildSnapshot() snapshot {
 	snap := snapshot{
 		Version:  snapshotVersion,
 		Bins:     a.cfg.Bins,
@@ -35,45 +41,43 @@ func (a *Agent) Save(w io.Writer) error {
 		snap.Actions[i] = t.String()
 	}
 	for k, cs := range a.table {
-		snap.Table[strconv.Itoa(k)] = cs
+		snap.Table[strconv.Itoa(k)] = append([]cell(nil), cs...)
 	}
 	for k, v := range a.accCache {
 		snap.AccCache[strconv.Itoa(k)] = v
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(snap)
+	return snap
 }
 
-// Load replaces the agent's Q-table and feedback cache with a previously
-// saved snapshot. The snapshot's bin resolution and action space must match
-// the agent's configuration.
-func (a *Agent) Load(r io.Reader) error {
-	var snap snapshot
-	if err := json.NewDecoder(r).Decode(&snap); err != nil {
-		return fmt.Errorf("rl: decoding snapshot: %w", err)
-	}
+// applySnapshot validates a decoded snapshot against the agent's
+// configuration and, only if every check passes, replaces the Q-table and
+// feedback cache. On error the agent is untouched.
+func (a *Agent) applySnapshot(snap snapshot) error {
 	if snap.Version != snapshotVersion {
-		return fmt.Errorf("rl: snapshot version %d, want %d", snap.Version, snapshotVersion)
+		return &checkpoint.VersionError{Got: uint32(snap.Version)}
 	}
 	if snap.Bins != a.cfg.Bins {
-		return fmt.Errorf("rl: snapshot bins %d, agent bins %d", snap.Bins, a.cfg.Bins)
+		return &checkpoint.CompatError{Field: "bins",
+			Got: strconv.Itoa(snap.Bins), Want: strconv.Itoa(a.cfg.Bins)}
 	}
 	if len(snap.Actions) != len(a.actions) {
-		return fmt.Errorf("rl: snapshot has %d actions, agent has %d", len(snap.Actions), len(a.actions))
+		return &checkpoint.CompatError{Field: "action count",
+			Got: strconv.Itoa(len(snap.Actions)), Want: strconv.Itoa(len(a.actions))}
 	}
 	for i, name := range snap.Actions {
 		if a.actions[i].String() != name {
-			return fmt.Errorf("rl: snapshot action %d is %q, agent has %q", i, name, a.actions[i])
+			return &checkpoint.CompatError{Field: fmt.Sprintf("action %d", i),
+				Got: name, Want: a.actions[i].String()}
 		}
 	}
 	table := make(map[int][]cell, len(snap.Table))
 	for k, cs := range snap.Table {
 		key, err := strconv.Atoi(k)
 		if err != nil {
-			return fmt.Errorf("rl: snapshot has invalid state key %q", k)
+			return &checkpoint.FormatError{Reason: fmt.Sprintf("rl snapshot has invalid state key %q", k)}
 		}
 		if len(cs) != len(a.actions) {
-			return fmt.Errorf("rl: snapshot state %q has %d cells, want %d", k, len(cs), len(a.actions))
+			return &checkpoint.FormatError{Reason: fmt.Sprintf("rl snapshot state %q has %d cells, want %d", k, len(cs), len(a.actions))}
 		}
 		table[key] = cs
 	}
@@ -81,13 +85,43 @@ func (a *Agent) Load(r io.Reader) error {
 	for k, v := range snap.AccCache {
 		key, err := strconv.Atoi(k)
 		if err != nil {
-			return fmt.Errorf("rl: snapshot has invalid cache key %q", k)
+			return &checkpoint.FormatError{Reason: fmt.Sprintf("rl snapshot has invalid cache key %q", k)}
 		}
 		cache[key] = v
 	}
 	a.table = table
 	a.accCache = cache
 	return nil
+}
+
+// Save writes the agent's Q-table and feedback cache as a framed,
+// checksummed snapshot (kind "rl-agent"). This is what makes the RLHF
+// agent reusable across workloads (RQ3 / Fig 9): pre-train on one dataset,
+// Save, Load into a new deployment, fine-tune online.
+func (a *Agent) Save(w io.Writer) error {
+	payload, err := json.Marshal(a.buildSnapshot())
+	if err != nil {
+		return fmt.Errorf("rl: encoding snapshot: %w", err)
+	}
+	return checkpoint.Encode(w, AgentSnapshotKind, payload)
+}
+
+// Load replaces the agent's Q-table and feedback cache with a previously
+// saved snapshot. The frame's checksum is verified and the snapshot's bin
+// resolution and action space must match the agent's configuration before
+// anything is mutated; every failure is one of the checkpoint package's
+// typed errors (ErrTruncated, ErrChecksum, *FormatError, *VersionError,
+// *CompatError).
+func (a *Agent) Load(r io.Reader) error {
+	payload, err := checkpoint.Decode(r, AgentSnapshotKind)
+	if err != nil {
+		return err
+	}
+	var snap snapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return &checkpoint.FormatError{Reason: fmt.Sprintf("rl snapshot payload: %v", err)}
+	}
+	return a.applySnapshot(snap)
 }
 
 // MarshalJSON lets callers embed the cell type in snapshots; fields are

@@ -1,0 +1,208 @@
+package rl
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"floatfl/internal/checkpoint"
+)
+
+// trainedAgent returns an agent with a few visited states so snapshots
+// carry a non-trivial table.
+func trainedAgent(t *testing.T) *Agent {
+	t.Helper()
+	a := NewAgent(Config{Seed: 9})
+	for i := 0; i < 40; i++ {
+		s := State{GB: i % 3, GE: 1, GK: 2, CPU: i % 5, Mem: (i * 3) % 5, Net: i % 2, HF: i % 4}
+		tech := a.SelectAction(s)
+		if err := a.Update(i, s, tech, i%3 != 0, 0.01*float64(i%7-3), s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return a
+}
+
+// TestSaveLoadTruncationEveryByte proves every proper prefix of a saved
+// agent file fails with the typed truncation error and leaves the loading
+// agent's state completely untouched.
+func TestSaveLoadTruncationEveryByte(t *testing.T) {
+	src := trainedAgent(t)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for n := 0; n < len(full); n++ {
+		dst := NewAgent(Config{Seed: 9})
+		err := dst.Load(bytes.NewReader(full[:n]))
+		if err == nil {
+			t.Fatalf("loading %d/%d bytes succeeded", n, len(full))
+		}
+		if !errors.Is(err, checkpoint.ErrTruncated) {
+			t.Fatalf("loading %d/%d bytes: got %v, want ErrTruncated", n, len(full), err)
+		}
+		if dst.StatesVisited() != 0 || dst.Updates() != 0 {
+			t.Fatalf("truncated load at %d bytes mutated the agent", n)
+		}
+	}
+	// And the intact file round-trips.
+	dst := NewAgent(Config{Seed: 9})
+	if err := dst.Load(bytes.NewReader(full)); err != nil {
+		t.Fatalf("intact load: %v", err)
+	}
+	if dst.StatesVisited() != src.StatesVisited() {
+		t.Fatalf("restored %d states, want %d", dst.StatesVisited(), src.StatesVisited())
+	}
+}
+
+// TestSaveLoadCorruptionDetected flips each byte of the frame and requires
+// a typed error with zero agent mutation.
+func TestSaveLoadCorruptionDetected(t *testing.T) {
+	src := trainedAgent(t)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every byte matters; stride 7 keeps the quadratic sweep fast while
+	// still hitting every region (magic, version, kind, length, payload,
+	// checksum).
+	for i := 0; i < len(full); i += 7 {
+		mut := append([]byte(nil), full...)
+		mut[i] ^= 0x41
+		dst := NewAgent(Config{Seed: 9})
+		err := dst.Load(bytes.NewReader(mut))
+		if err == nil {
+			t.Fatalf("flipping byte %d loaded successfully", i)
+		}
+		var fe *checkpoint.FormatError
+		var ve *checkpoint.VersionError
+		if !errors.Is(err, checkpoint.ErrChecksum) && !errors.Is(err, checkpoint.ErrTruncated) &&
+			!errors.As(err, &fe) && !errors.As(err, &ve) {
+			t.Fatalf("flipping byte %d: untyped error %v", i, err)
+		}
+		if dst.StatesVisited() != 0 || dst.Updates() != 0 {
+			t.Fatalf("corrupt load (byte %d) mutated the agent", i)
+		}
+	}
+}
+
+// TestLoadRejectsWrongKind pins that an engine snapshot frame cannot be
+// loaded as an agent.
+func TestLoadRejectsWrongKind(t *testing.T) {
+	framed, err := checkpoint.EncodeBytes("engine-sync", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fe *checkpoint.FormatError
+	if err := NewAgent(Config{Seed: 9}).Load(bytes.NewReader(framed)); !errors.As(err, &fe) {
+		t.Fatalf("wrong-kind load: got %v, want FormatError", err)
+	}
+}
+
+// TestLoadCompatTyped pins that configuration mismatches surface as
+// *checkpoint.CompatError.
+func TestLoadCompatTyped(t *testing.T) {
+	src := trainedAgent(t)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var ce *checkpoint.CompatError
+	if err := NewAgent(Config{Seed: 9, Bins: 7}).Load(bytes.NewReader(buf.Bytes())); !errors.As(err, &ce) {
+		t.Fatalf("bins mismatch: got %v, want CompatError", err)
+	}
+}
+
+// TestRestoreCheckpointRejectsScheduleMismatch pins that a checkpoint
+// taken under one exploration schedule cannot be restored into an agent
+// configured for another: the decay is a function of round/TotalRounds,
+// so a -rounds 3 prefix is a *different experiment* than rounds 0-2 of a
+// -rounds 6 run and resuming it would silently diverge. Save/Load stays
+// permissive on purpose (transfer learning across schedules); only the
+// bit-identity checkpoint path enforces this.
+func TestRestoreCheckpointRejectsScheduleMismatch(t *testing.T) {
+	src := NewAgent(Config{Seed: 9, TotalRounds: 3})
+	blob, err := src.CheckpointState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ce *checkpoint.CompatError
+	dst := NewAgent(Config{Seed: 9, TotalRounds: 6})
+	if err := dst.RestoreCheckpoint(blob); !errors.As(err, &ce) || ce.Field != "agent_total_rounds" {
+		t.Fatalf("TotalRounds mismatch: got %v, want CompatError{agent_total_rounds}", err)
+	}
+	dst = NewAgent(Config{Seed: 10, TotalRounds: 3})
+	if err := dst.RestoreCheckpoint(blob); !errors.As(err, &ce) || ce.Field != "agent_seed" {
+		t.Fatalf("Seed mismatch: got %v, want CompatError{agent_seed}", err)
+	}
+	if dst.StatesVisited() != 0 || dst.Updates() != 0 {
+		t.Fatal("rejected restore mutated the agent")
+	}
+	// Matching config restores cleanly.
+	dst = NewAgent(Config{Seed: 9, TotalRounds: 3})
+	if err := dst.RestoreCheckpoint(blob); err != nil {
+		t.Fatalf("matching restore: %v", err)
+	}
+}
+
+// TestAgentCheckpointResume proves full-fidelity mid-run state capture:
+// 2N updates ≡ N updates → checkpoint → restore into fresh agent → N more,
+// on action choices, reward history, and checkpoint byte-stability.
+func TestAgentCheckpointResume(t *testing.T) {
+	run := func(a *Agent, start, n int) []string {
+		var picks []string
+		for i := start; i < start+n; i++ {
+			s := State{GB: i % 3, CPU: i % 5, Mem: (i * 7) % 5, Net: (i * 3) % 5, HF: i % 5}
+			tech := a.SelectAction(s)
+			picks = append(picks, tech.String())
+			if err := a.Update(i, s, tech, i%4 != 1, 0.02*float64(i%5-2), s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return picks
+	}
+
+	full := NewAgent(Config{Seed: 3})
+	fullPicks := run(full, 0, 120)
+
+	prefix := NewAgent(Config{Seed: 3})
+	prefixPicks := run(prefix, 0, 60)
+	blob, err := prefix.CheckpointState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob2, err := prefix.CheckpointState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("CheckpointState is not byte-stable")
+	}
+
+	resumed := NewAgent(Config{Seed: 3})
+	if err := resumed.RestoreCheckpoint(blob); err != nil {
+		t.Fatal(err)
+	}
+	resumedPicks := run(resumed, 60, 60)
+
+	got := append(append([]string(nil), prefixPicks...), resumedPicks...)
+	for i := range got {
+		if got[i] != fullPicks[i] {
+			t.Fatalf("action choice diverges at update %d: %s vs %s", i, got[i], fullPicks[i])
+		}
+	}
+	fh, rh := full.RewardHistory(), resumed.RewardHistory()
+	if len(fh) != len(rh) {
+		t.Fatalf("reward history length %d, want %d", len(rh), len(fh))
+	}
+	for i := range fh {
+		if fh[i] != rh[i] {
+			t.Fatalf("reward history diverges at %d", i)
+		}
+	}
+	if full.Updates() != resumed.Updates() {
+		t.Fatalf("updates %d, want %d", resumed.Updates(), full.Updates())
+	}
+}

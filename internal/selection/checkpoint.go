@@ -1,0 +1,134 @@
+// Checkpoint support: every built-in selector implements
+// checkpoint.Stateful structurally (no import needed). State blobs are
+// JSON with map-keyed content emitted deterministically — encoding/json
+// sorts map keys, and explicit ID lists are sorted before marshaling — so
+// a snapshot of identical selector state is byte-identical across
+// processes. RNG streams are serialized as (seed-implied) draw positions
+// via rngstate; restore seeks the existing stream rather than replacing
+// it, which keeps the selector's seed wiring intact.
+package selection
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+type randomState struct {
+	Draws uint64 `json:"draws"`
+}
+
+// CheckpointState captures the Random selector (its RNG position is its
+// only mutable state).
+func (r *Random) CheckpointState() ([]byte, error) {
+	return json.Marshal(randomState{Draws: r.src.Pos()})
+}
+
+// RestoreCheckpoint restores a Random selector snapshot.
+func (r *Random) RestoreCheckpoint(data []byte) error {
+	var st randomState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("selection: random state: %w", err)
+	}
+	r.src.SeekTo(st.Draws)
+	return nil
+}
+
+type oortState struct {
+	Draws       uint64          `json:"draws"`
+	StatUtil    map[int]float64 `json:"stat_util,omitempty"`
+	RespSecs    map[int]float64 `json:"resp_secs,omitempty"`
+	Tried       []int           `json:"tried,omitempty"`
+	Failures    map[int]int     `json:"failures,omitempty"`
+	PacerT      float64         `json:"pacer_t"`
+	WindowOK    int             `json:"window_ok"`
+	WindowTotal int             `json:"window_total"`
+}
+
+// CheckpointState captures the Oort selector: utility and response EMAs,
+// the known set, blacklist counters, pacer state, and the RNG position.
+func (o *Oort) CheckpointState() ([]byte, error) {
+	st := oortState{
+		Draws:       o.src.Pos(),
+		StatUtil:    o.statUtil,
+		RespSecs:    o.respSecs,
+		Failures:    o.failures,
+		PacerT:      o.pacerT,
+		WindowOK:    o.windowOK,
+		WindowTotal: o.windowTotal,
+	}
+	for id := range o.tried {
+		st.Tried = append(st.Tried, id)
+	}
+	sort.Ints(st.Tried)
+	return json.Marshal(st)
+}
+
+// RestoreCheckpoint restores an Oort selector snapshot.
+func (o *Oort) RestoreCheckpoint(data []byte) error {
+	var st oortState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("selection: oort state: %w", err)
+	}
+	o.statUtil = orEmptyF(st.StatUtil)
+	o.respSecs = orEmptyF(st.RespSecs)
+	o.failures = st.Failures
+	if o.failures == nil {
+		o.failures = make(map[int]int)
+	}
+	o.tried = make(map[int]bool, len(st.Tried))
+	for _, id := range st.Tried {
+		o.tried[id] = true
+	}
+	o.pacerT = st.PacerT
+	o.windowOK = st.WindowOK
+	o.windowTotal = st.WindowTotal
+	o.src.SeekTo(st.Draws)
+	return nil
+}
+
+type reflState struct {
+	Draws    uint64          `json:"draws"`
+	History  map[int][]bool  `json:"history,omitempty"`
+	RespSecs map[int]float64 `json:"resp_secs,omitempty"`
+	LastPart map[int]int     `json:"last_part,omitempty"`
+}
+
+// CheckpointState captures the REFL selector: availability histories,
+// response EMAs, participation recency, and the RNG position.
+func (r *REFL) CheckpointState() ([]byte, error) {
+	return json.Marshal(reflState{
+		Draws:    r.src.Pos(),
+		History:  r.history,
+		RespSecs: r.respSecs,
+		LastPart: r.lastPart,
+	})
+}
+
+// RestoreCheckpoint restores a REFL selector snapshot.
+func (r *REFL) RestoreCheckpoint(data []byte) error {
+	var st reflState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("selection: refl state: %w", err)
+	}
+	r.history = st.History
+	if r.history == nil {
+		r.history = make(map[int][]bool)
+	}
+	r.respSecs = orEmptyF(st.RespSecs)
+	r.lastPart = st.LastPart
+	if r.lastPart == nil {
+		r.lastPart = make(map[int]int)
+	}
+	r.src.SeekTo(st.Draws)
+	return nil
+}
+
+// orEmptyF replaces a nil float map (omitted empty field) with an empty
+// one, preserving the constructors' never-nil invariant.
+func orEmptyF(m map[int]float64) map[int]float64 {
+	if m == nil {
+		return make(map[int]float64)
+	}
+	return m
+}

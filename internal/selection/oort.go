@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"floatfl/internal/device"
+	"floatfl/internal/rngstate"
 )
 
 // OortConfig tunes the Oort selector.
@@ -34,6 +35,7 @@ type OortConfig struct {
 type Oort struct {
 	cfg OortConfig
 	rng *rand.Rand
+	src *rngstate.Source
 
 	statUtil map[int]float64 // EMA of loss-based utility
 	respSecs map[int]float64 // EMA of response time
@@ -62,9 +64,11 @@ func NewOort(cfg OortConfig) *Oort {
 	if cfg.BlacklistAfter <= 0 {
 		cfg.BlacklistAfter = 4
 	}
+	src := rngstate.New(cfg.Seed)
 	return &Oort{
 		cfg:      cfg,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		rng:      rand.New(src),
+		src:      src,
 		statUtil: make(map[int]float64),
 		respSecs: make(map[int]float64),
 		tried:    make(map[int]bool),

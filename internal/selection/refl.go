@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"floatfl/internal/device"
+	"floatfl/internal/rngstate"
 )
 
 // REFLConfig tunes the REFL selector.
@@ -31,6 +32,7 @@ type REFLConfig struct {
 type REFL struct {
 	cfg REFLConfig
 	rng *rand.Rand
+	src *rngstate.Source
 
 	// history[id] is a ring of recent availability observations.
 	history map[int][]bool
@@ -48,9 +50,11 @@ func NewREFL(cfg REFLConfig) *REFL {
 	if cfg.AvailThreshold <= 0 {
 		cfg.AvailThreshold = 0.6
 	}
+	src := rngstate.New(cfg.Seed)
 	return &REFL{
 		cfg:      cfg,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		rng:      rand.New(src),
+		src:      src,
 		history:  make(map[int][]bool),
 		respSecs: make(map[int]float64),
 		lastPart: make(map[int]int),

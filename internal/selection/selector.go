@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"floatfl/internal/device"
+	"floatfl/internal/rngstate"
 )
 
 // RoundInfo carries the context a selector may use when choosing clients.
@@ -56,11 +57,13 @@ type Selector interface {
 // Random selects uniformly at random — FedAvg's policy.
 type Random struct {
 	rng *rand.Rand
+	src *rngstate.Source
 }
 
 // NewRandom returns the FedAvg random selector.
 func NewRandom(seed int64) *Random {
-	return &Random{rng: rand.New(rand.NewSource(seed))}
+	src := rngstate.New(seed)
+	return &Random{rng: rand.New(src), src: src}
 }
 
 // Name implements Selector.

@@ -138,6 +138,12 @@ func (a *AvailabilityTrace) ReplayDrains(log []DrainEvent) {
 	a.drainIdx = 0
 }
 
+// StepsGenerated returns how many series steps the trace has produced.
+// Checkpoint restore uses it as a guard: drain logs may only be replayed
+// onto a pristine trace (see ReplayDrains), and a nonzero value means the
+// target population was already used.
+func (a *AvailabilityTrace) StepsGenerated() int { return len(a.series) }
+
 func (a *AvailabilityTrace) extend(t int) {
 	if t < 0 {
 		t = 0

@@ -150,6 +150,41 @@ func (c *Cache[K, V]) Stats() Stats {
 	return s
 }
 
+// SetStats overwrites the activity counters (Resident is derived and
+// ignored). Checkpoint restore uses this after residency is rebuilt, so
+// the rebuild's own hits/misses/evictions never reach telemetry.
+func (c *Cache[K, V]) SetStats(s Stats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats = Stats{Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions, Peak: s.Peak}
+}
+
+// UnpinnedKeys returns the unpinned resident keys in least-recently-used
+// first order — the exact order that, replayed through Add on an empty
+// cache, reconstructs this LRU list. Pinned entries are excluded; their
+// residency is rebuilt by re-acquisition, not replay.
+func (c *Cache[K, V]) UnpinnedKeys() []K {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]K, 0, c.unpinned)
+	for e := c.tail; e != nil; e = e.prev {
+		keys = append(keys, e.key)
+	}
+	return keys
+}
+
+// Range calls f for every resident entry (pinned and unpinned) in map
+// order, holding the cache lock — f must not call back into the cache.
+// Callers needing determinism must collect and sort; the checkpoint
+// writers do exactly that with the int-keyed caches.
+func (c *Cache[K, V]) Range(f func(k K, v V, pinned bool)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, e := range c.entries {
+		f(k, e.val, e.pins > 0)
+	}
+}
+
 func (c *Cache[K, V]) evictOver() {
 	for c.unpinned > c.capacity && c.tail != nil {
 		victim := c.tail

@@ -103,3 +103,84 @@ func TestResidencyBound(t *testing.T) {
 		}
 	}
 }
+
+// TestUnpinnedKeysReplay pins the checkpoint contract: feeding
+// UnpinnedKeys back through Add on an empty cache reconstructs the same
+// LRU list, byte for byte, under further identical traffic.
+func TestUnpinnedKeysReplay(t *testing.T) {
+	build := func() *Cache[int, string] {
+		c := New[int, string](3, nil)
+		for _, k := range []int{1, 2, 3} {
+			c.Add(k, "v")
+		}
+		c.Get(1) // order now: 2 (LRU), 3, 1 (MRU)
+		return c
+	}
+	c := build()
+	keys := c.UnpinnedKeys()
+	want := []int{2, 3, 1}
+	if len(keys) != len(want) {
+		t.Fatalf("UnpinnedKeys = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("UnpinnedKeys = %v, want %v", keys, want)
+		}
+	}
+
+	replay := New[int, string](3, nil)
+	for _, k := range keys {
+		replay.Add(k, "v")
+	}
+	// Identical traffic must now evict identically on both caches.
+	c.Add(9, "v")
+	replay.Add(9, "v")
+	a, b := c.UnpinnedKeys(), replay.UnpinnedKeys()
+	if len(a) != len(b) {
+		t.Fatalf("diverged: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverged after replay: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestSetStatsOverwrites proves rebuild noise is erased and Resident stays
+// derived from actual residency.
+func TestSetStatsOverwrites(t *testing.T) {
+	c := New[int, int](2, nil)
+	c.Add(1, 1)
+	c.Get(1)
+	c.Get(42) // miss noise
+	c.SetStats(Stats{Hits: 10, Misses: 20, Evictions: 30, Peak: 40, Resident: 999})
+	s := c.Stats()
+	if s.Hits != 10 || s.Misses != 20 || s.Evictions != 30 || s.Peak != 40 {
+		t.Fatalf("SetStats not applied: %+v", s)
+	}
+	if s.Resident != 1 {
+		t.Fatalf("Resident = %d, want 1 (derived, not restored)", s.Resident)
+	}
+}
+
+// TestRangeSeesPinnedAndUnpinned covers the capture path: every resident
+// entry is visited exactly once with its pin state.
+func TestRangeSeesPinnedAndUnpinned(t *testing.T) {
+	c := New[int, int](2, nil)
+	c.Add(1, 10)
+	c.Add(2, 20)
+	c.Pin(2)
+	seen := map[int]bool{}
+	c.Range(func(k, v int, pinned bool) {
+		if seen[k] {
+			t.Fatalf("key %d visited twice", k)
+		}
+		seen[k] = true
+		if pinned != (k == 2) {
+			t.Fatalf("key %d pinned=%v", k, pinned)
+		}
+	})
+	if len(seen) != 2 {
+		t.Fatalf("Range visited %d entries, want 2", len(seen))
+	}
+}
