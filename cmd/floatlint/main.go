@@ -1,19 +1,28 @@
 // Command floatlint runs the repository's invariant analyzers — the
-// determinism, aliasing, and clock-injection rules in internal/lint —
-// over the module and exits non-zero on findings. It is the CI gate that
-// keeps wall-clock reads, global randomness, unsorted map iteration,
-// parameter-view aliasing bugs, and unjoinable goroutines out of the
-// aggregation paths.
+// determinism, aliasing, clock-injection, and cross-package dataflow
+// rules in internal/lint — over the module and exits non-zero on
+// findings. It is the CI gate that keeps wall-clock reads, global
+// randomness, unsorted map iteration, parameter-view aliasing bugs,
+// unjoinable goroutines, escaped RNG streams, under-checkpointed state,
+// and fan-out phase violations out of the aggregation paths.
 //
 // Usage:
 //
-//	floatlint [-json] [-rules list] [-list] [packages...]
+//	floatlint [-json] [-sarif file] [-baseline file] [-write-baseline]
+//	          [-unused-directives] [-rules list] [-list] [packages...]
 //
 // With no package patterns it sweeps ./... from the enclosing module
 // root. -rules selects analyzers: a comma-separated list of names runs
 // only those; prefixing a name with '-' skips it and runs the rest
 // (e.g. -rules -naked-goroutine). Findings suppressed with an inline
-// `//lint:allow <rule> <reason>` directive are not reported.
+// `//lint:allow <rule> <reason>` directive are not reported;
+// -unused-directives additionally reports directives that suppress
+// nothing. -baseline filters findings through a committed acceptance
+// ledger (novel findings still fail; stale entries are reported on
+// stderr), and -write-baseline regenerates that file from the current
+// findings instead of failing. -sarif writes a SARIF 2.1.0 document
+// ("-" for stdout) with the post-baseline findings for code-scanning
+// upload.
 package main
 
 import (
@@ -28,6 +37,10 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	sarifOut := flag.String("sarif", "", "write findings as SARIF 2.1.0 to this file (\"-\" for stdout)")
+	baselinePath := flag.String("baseline", "", "filter findings through this committed baseline file")
+	writeBaseline := flag.Bool("write-baseline", false, "rewrite -baseline from current findings and exit 0")
+	unusedDirectives := flag.Bool("unused-directives", false, "report //lint:allow directives that suppress nothing")
 	rules := flag.String("rules", "", "comma-separated rules to run, or -name entries to skip (default: all)")
 	list := flag.Bool("list", false, "list registered rules and exit")
 	flag.Parse()
@@ -38,31 +51,76 @@ func main() {
 		}
 		return
 	}
+	if *writeBaseline && *baselinePath == "" {
+		fatal(fmt.Errorf("-write-baseline requires -baseline"))
+	}
 
 	enabled, err := selectRules(*rules)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "floatlint:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 
 	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "floatlint:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 	root, err := lint.ModuleRoot(cwd)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "floatlint:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 	loader := lint.NewLoader(root)
 	pkgs, err := loader.Packages(flag.Args()...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "floatlint:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 
-	findings := lint.Run(pkgs, enabled)
+	findings := lint.RunOpts(pkgs, lint.Options{
+		Enabled:          enabled,
+		UnusedDirectives: *unusedDirectives,
+	})
+
+	if *writeBaseline {
+		data, err := lint.NewBaseline(findings, root).Encode()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*baselinePath, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "floatlint: wrote %s (%d finding(s) accepted)\n", *baselinePath, len(findings))
+		return
+	}
+
+	if *baselinePath != "" {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		base, err := lint.ParseBaseline(data)
+		if err != nil {
+			fatal(err)
+		}
+		novel, stale := base.Filter(findings, root)
+		findings = novel
+		for _, e := range stale {
+			fmt.Fprintf(os.Stderr, "floatlint: baseline entry no longer fires (%d stale): [%s] %s: %s\n",
+				e.Count, e.Rule, e.File, e.Message)
+		}
+	}
+
+	if *sarifOut != "" {
+		data, err := lint.SARIF(findings, root)
+		if err != nil {
+			fatal(err)
+		}
+		data = append(data, '\n')
+		if *sarifOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*sarifOut, data, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -70,20 +128,24 @@ func main() {
 			findings = []lint.Finding{}
 		}
 		if err := enc.Encode(findings); err != nil {
-			fmt.Fprintln(os.Stderr, "floatlint:", err)
-			os.Exit(2)
+			fatal(err)
 		}
-	} else {
+	} else if *sarifOut != "-" {
 		for _, f := range findings {
 			fmt.Println(f)
 		}
 	}
 	if len(findings) > 0 {
-		if !*jsonOut {
+		if !*jsonOut && *sarifOut != "-" {
 			fmt.Fprintf(os.Stderr, "floatlint: %d finding(s)\n", len(findings))
 		}
 		os.Exit(1)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "floatlint:", err)
+	os.Exit(2)
 }
 
 // selectRules parses the -rules flag into an enabled set (nil = all).

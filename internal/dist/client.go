@@ -338,6 +338,7 @@ func (c *Client) backoff(ctx context.Context, policy RetryPolicy, attempt int) e
 
 func ctxSleep(ctx context.Context, d time.Duration) error {
 	//lint:allow no-wall-clock default real sleep used only when no Client.Sleep is injected; tests always inject
+	//lint:allow clock-taint reachable only through the Sleep==nil fallback; every deterministic harness injects Client.Sleep
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {

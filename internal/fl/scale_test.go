@@ -66,7 +66,7 @@ func TestMillionClientBoundedMemory(t *testing.T) {
 	const cacheClients = 4096
 	const rounds = 2
 
-	start := time.Now() //lint:allow no-wall-clock benchmark timing, not simulation state
+	start := time.Now()
 	p, err := population.NewLazy(population.Config{
 		Dataset:      "femnist",
 		Clients:      clients,
@@ -78,7 +78,7 @@ func TestMillionClientBoundedMemory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	startupSec := time.Since(start).Seconds() //lint:allow no-wall-clock benchmark timing, not simulation state
+	startupSec := time.Since(start).Seconds()
 	t.Logf("startup: %.3fs for %d clients", startupSec, clients)
 
 	cfg := Config{
@@ -92,12 +92,12 @@ func TestMillionClientBoundedMemory(t *testing.T) {
 		Seed:            42,
 		EvalClients:     256,
 	}
-	runStart := time.Now() //lint:allow no-wall-clock benchmark timing, not simulation state
+	runStart := time.Now()
 	res, err := RunSyncPop(p, selection.NewRandom(42), NoOpController{}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	roundSec := time.Since(runStart).Seconds() / rounds //lint:allow no-wall-clock benchmark timing, not simulation state
+	roundSec := time.Since(runStart).Seconds() / rounds
 	t.Logf("round: %.3fs avg over %d rounds (%d selected/round)", roundSec, rounds, perRound)
 
 	if res.Ledger.TotalRounds == 0 {

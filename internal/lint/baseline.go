@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// A Baseline is a committed ledger of accepted findings: ratcheting
+// infrastructure for introducing a new rule to a codebase with existing
+// violations. Each entry keys a finding by (rule, module-relative file,
+// message) — deliberately not by line, so unrelated edits that shift a
+// finding within its file do not break the build — with a count, so a
+// file accumulating a second identical violation still fails.
+//
+// The module's own baseline (lint_baseline.json) is empty and stays
+// empty: the sweep fixed or explicitly allowlisted everything. The
+// mechanism exists for downstream forks and for staging future rules.
+type Baseline struct {
+	Version int             `json:"version"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// BaselineEntry is one accepted finding shape with its occurrence count.
+type BaselineEntry struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+}
+
+const baselineVersion = 1
+
+func baselineKey(rule, file, message string) string {
+	return rule + "\x00" + file + "\x00" + message
+}
+
+// NewBaseline builds a baseline from findings, with file paths made
+// relative to root.
+func NewBaseline(findings []Finding, root string) *Baseline {
+	counts := map[string]*BaselineEntry{}
+	var order []string
+	for _, f := range findings {
+		file := RelPath(f.Pos.Filename, root)
+		key := baselineKey(f.Rule, file, f.Message)
+		if e, ok := counts[key]; ok {
+			e.Count++
+			continue
+		}
+		counts[key] = &BaselineEntry{Rule: f.Rule, File: file, Message: f.Message, Count: 1}
+		order = append(order, key)
+	}
+	sort.Strings(order)
+	b := &Baseline{Version: baselineVersion, Entries: []BaselineEntry{}}
+	for _, key := range order {
+		b.Entries = append(b.Entries, *counts[key])
+	}
+	return b
+}
+
+// ParseBaseline decodes a baseline document.
+func ParseBaseline(data []byte) (*Baseline, error) {
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("baseline: unsupported version %d (want %d)", b.Version, baselineVersion)
+	}
+	for i, e := range b.Entries {
+		if e.Rule == "" || e.File == "" || e.Count < 1 {
+			return nil, fmt.Errorf("baseline: entry %d malformed (rule, file, and count >= 1 required)", i)
+		}
+	}
+	return &b, nil
+}
+
+// Encode renders the baseline as committed-file JSON (indented, trailing
+// newline).
+func (b *Baseline) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Filter splits findings into novel ones (not covered by the baseline)
+// and reports how many baseline entries went unused — entries whose
+// accepted findings no longer occur, which should be ratcheted out of the
+// committed file. Counts matter: a baseline entry with count 1 absorbs
+// only the first matching finding.
+func (b *Baseline) Filter(findings []Finding, root string) (novel []Finding, stale []BaselineEntry) {
+	remaining := map[string]int{}
+	for _, e := range b.Entries {
+		remaining[baselineKey(e.Rule, e.File, e.Message)] += e.Count
+	}
+	novel = []Finding{}
+	for _, f := range findings {
+		key := baselineKey(f.Rule, RelPath(f.Pos.Filename, root), f.Message)
+		if remaining[key] > 0 {
+			remaining[key]--
+			continue
+		}
+		novel = append(novel, f)
+	}
+	for _, e := range b.Entries {
+		key := baselineKey(e.Rule, e.File, e.Message)
+		if remaining[key] > 0 {
+			leftover := e
+			leftover.Count = remaining[key]
+			stale = append(stale, leftover)
+			remaining[key] = 0
+		}
+	}
+	return novel, stale
+}

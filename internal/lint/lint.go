@@ -5,16 +5,31 @@
 //
 // It enforces the invariants the reproduction's evaluation rests on —
 // the determinism contract of the parallel engines (PR 1), the aliasing
-// rules of the flat parameter buffers (PR 2), and the clock-injection
-// discipline of the distributed aggregator (PR 3) — as machine-checked
-// rules instead of reviewer convention. Each rule reports file/line-keyed
-// findings and honors an explicit allowlist directive:
+// rules of the flat parameter buffers (PR 2), the clock-injection
+// discipline of the distributed aggregator (PR 3), the three-phase
+// dispatch/fan-out/collect contract (PR 7), and the snapshot-completeness
+// contract of checkpoint/resume (PR 8) — as machine-checked rules instead
+// of reviewer convention.
+//
+// Two kinds of analyzers coexist in the Rules table. Per-file rules
+// (Check) are single-pass AST walks over one file. Module rules
+// (ModuleCheck) run once over the whole loaded package set with a
+// module-wide call graph (callgraph.go), which lets them prove
+// reachability properties: a wall-clock read three calls away from an
+// engine, an RNG stream leaking across a fan-out boundary, a struct field
+// a snapshot encoder forgot.
+//
+// Each rule reports file/line-keyed findings and honors an explicit
+// allowlist directive:
 //
 //	//lint:allow <rule> <reason>
 //
-// placed on the offending line or on its own line immediately above
-// (directives stack). A directive must name a registered rule and carry a
-// non-empty reason; malformed directives are themselves findings.
+// placed on the offending line, on its own line immediately above
+// (directives stack), or immediately above the first line of the
+// multi-line statement, declaration spec, or struct field containing the
+// finding. A directive must name a registered rule and carry a non-empty
+// reason; malformed directives are themselves findings, and Options can
+// additionally surface stale directives that no longer suppress anything.
 package lint
 
 import (
@@ -66,19 +81,44 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
 // ObjectOf returns the object an identifier denotes, or nil.
 func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.Pkg.Info.ObjectOf(id) }
 
-// Rule is one analyzer. Adding a rule means appending a ~30-line entry to
-// the Rules table: a name, a doc line, and a Check function over one file.
+// ModulePass is the whole-module context handed to a rule's ModuleCheck
+// function: every loaded package plus the call graph over them.
+type ModulePass struct {
+	Pkgs  []*Package
+	Graph *Graph
+	rule  *Rule
+	rc    *runContext
+}
+
+// Report records a module-rule finding at pos. Findings in _test.go files
+// are dropped when the rule sets SkipTests; suppression follows the same
+// directive rules as per-file findings.
+func (mp *ModulePass) Report(pos token.Pos, format string, args ...interface{}) {
+	mp.rc.report(mp.rule, pos, fmt.Sprintf(format, args...))
+}
+
+// InTestFile reports whether pos lies in a _test.go file (module rules use
+// it to scope facts the same way SkipTests scopes findings).
+func (mp *ModulePass) InTestFile(pos token.Pos) bool {
+	fc := mp.rc.fileFor(pos)
+	return fc != nil && fc.isTest
+}
+
+// Rule is one analyzer. Per-file analyzers set Check; whole-module
+// analyzers set ModuleCheck (exactly one of the two).
 type Rule struct {
 	Name string
 	Doc  string
 	// SkipTests excludes _test.go files (rules whose hazard is specific to
 	// production code paths, or whose forbidden pattern is the very thing
 	// tests must do to exercise it).
-	SkipTests bool
-	Check     func(*Pass)
+	SkipTests   bool
+	Check       func(*Pass)
+	ModuleCheck func(*ModulePass)
 }
 
-// Rules is the registry of analyzers, in reporting order.
+// Rules is the registry of analyzers, in reporting order: the six
+// single-file syntax rules, then the four call-graph dataflow rules.
 var Rules = []*Rule{
 	ruleNoWallClock,
 	ruleNoGlobalRand,
@@ -86,6 +126,10 @@ var Rules = []*Rule{
 	ruleFlatViewMutation,
 	ruleNakedGoroutine,
 	ruleTensorBackend,
+	ruleClockTaint,
+	ruleRNGEscape,
+	ruleCkptCoverage,
+	rulePhaseContract,
 }
 
 // RuleNames returns the registered rule names in order.
@@ -106,19 +150,22 @@ func ruleByName(name string) *Rule {
 	return nil
 }
 
-// directive is one parsed //lint:allow comment.
+// directive is one parsed //lint:allow comment. used records whether it
+// suppressed at least one finding in the current run — the signal behind
+// stale-directive detection.
 type directive struct {
 	rule   string
 	reason string
 	line   int
 	pos    token.Pos
+	used   bool
 }
 
 // fileDirectives scans a file's comments for //lint:allow directives.
 // Malformed directives (unknown rule, missing reason) are reported
 // through report.
-func fileDirectives(fset *token.FileSet, file *ast.File, report func(pos token.Pos, msg string)) []directive {
-	var dirs []directive
+func fileDirectives(fset *token.FileSet, file *ast.File, report func(pos token.Pos, msg string)) []*directive {
+	var dirs []*directive
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
 			text, ok := strings.CutPrefix(c.Text, "//lint:allow")
@@ -141,43 +188,130 @@ func fileDirectives(fset *token.FileSet, file *ast.File, report func(pos token.P
 				report(pos, fmt.Sprintf("//lint:allow %s needs a reason", rule))
 				continue
 			}
-			dirs = append(dirs, directive{rule: rule, reason: reason, line: fset.Position(pos).Line, pos: pos})
+			dirs = append(dirs, &directive{rule: rule, reason: reason, line: fset.Position(pos).Line, pos: pos})
 		}
 	}
 	return dirs
 }
 
+// statementAnchors maps each source line of the file to the starting line
+// of the innermost statement, declaration spec, or struct field that spans
+// it. A directive placed above a multi-line construct therefore covers the
+// construct's full extent, not just its first line: findings anchored to
+// any of its lines resolve back to the start line before directive lookup.
+func statementAnchors(fset *token.FileSet, file *ast.File) map[int]int {
+	anchor := make(map[int]int)
+	mark := func(n ast.Node) {
+		start := fset.Position(n.Pos()).Line
+		end := fset.Position(n.End()).Line
+		if end <= start {
+			return // single-line constructs need no anchor
+		}
+		for l := start; l <= end; l++ {
+			anchor[l] = start
+		}
+	}
+	// ast.Inspect visits outer nodes before inner ones, so inner (narrower)
+	// constructs overwrite their lines last and win.
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case ast.Stmt:
+			// Statements that introduce nested blocks (if/for/switch bodies,
+			// function literals) would anchor arbitrary amounts of code to
+			// their opening line, letting one directive silence a whole
+			// region; only leaf statements — the multi-line call, assign,
+			// return shapes — are anchored.
+			switch n.(type) {
+			case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause, *ast.LabeledStmt:
+				return true
+			}
+			if containsBlock(n) {
+				return true
+			}
+			mark(n)
+		case *ast.GenDecl, *ast.ValueSpec, *ast.TypeSpec, *ast.Field:
+			mark(n)
+		}
+		return true
+	})
+	return anchor
+}
+
+// containsBlock reports whether a statement's subtree introduces a nested
+// block (a composite statement or a function literal body).
+func containsBlock(s ast.Stmt) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.BlockStmt); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// fileCtx is the per-file directive and suppression state shared by every
+// rule in one Run.
+type fileCtx struct {
+	pkg      *Package
+	file     *ast.File
+	filename string
+	isTest   bool
+	dirs     []*directive
+	anchor   map[int]int
+}
+
 // suppressed reports whether a finding of rule at line is covered by a
-// directive: one on the same line, or a stack of directive-bearing lines
-// immediately above it.
-func suppressed(dirs []directive, rule string, line int) bool {
-	lines := make(map[int]bool, len(dirs))
-	for _, d := range dirs {
+// directive: one on the same line, a stack of directive-bearing lines
+// immediately above it, or the same applied to the first line of the
+// enclosing multi-line statement. Matching directives are marked used.
+func (fc *fileCtx) suppressed(rule string, line int) bool {
+	lines := make(map[int]bool, len(fc.dirs))
+	for _, d := range fc.dirs {
 		lines[d.line] = true
 	}
 	match := func(l int) bool {
-		for _, d := range dirs {
+		hit := false
+		for _, d := range fc.dirs {
 			if d.line == l && d.rule == rule {
+				d.used = true
+				hit = true
+			}
+		}
+		return hit
+	}
+	covers := func(l int) bool {
+		if match(l) {
+			return true
+		}
+		for a := l - 1; lines[a]; a-- {
+			if match(a) {
 				return true
 			}
 		}
 		return false
 	}
-	if match(line) {
+	if covers(line) {
 		return true
 	}
-	for l := line - 1; lines[l]; l-- {
-		if match(l) {
-			return true
-		}
+	if start, ok := fc.anchor[line]; ok && start != line {
+		return covers(start)
 	}
 	return false
 }
 
-// Run executes the enabled rules over pkgs and returns the unsuppressed
-// findings sorted by position. enabled==nil runs every rule.
-func Run(pkgs []*Package, enabled map[string]bool) []Finding {
-	var findings []Finding
+// runContext owns the findings and per-file state of one Run.
+type runContext struct {
+	files    map[*token.File]*fileCtx
+	order    []*fileCtx
+	findings []Finding
+}
+
+func newRunContext(pkgs []*Package) *runContext {
+	rc := &runContext{files: make(map[*token.File]*fileCtx)}
 	for _, pkg := range pkgs {
 		for _, file := range pkg.Files {
 			tf := pkg.Fset.File(file.Pos())
@@ -185,40 +319,132 @@ func Run(pkgs []*Package, enabled map[string]bool) []Finding {
 				continue
 			}
 			filename := filepath.ToSlash(tf.Name())
-			isTest := strings.HasSuffix(filename, "_test.go")
-
+			fc := &fileCtx{
+				pkg:      pkg,
+				file:     file,
+				filename: filename,
+				isTest:   strings.HasSuffix(filename, "_test.go"),
+				anchor:   statementAnchors(pkg.Fset, file),
+			}
 			// Directive problems are findings themselves and cannot be
 			// suppressed (a broken directive must not silence anything).
-			var dirFindings []Finding
-			dirs := fileDirectives(pkg.Fset, file, func(pos token.Pos, msg string) {
-				dirFindings = append(dirFindings, Finding{
+			fc.dirs = fileDirectives(pkg.Fset, file, func(pos token.Pos, msg string) {
+				rc.findings = append(rc.findings, Finding{
 					Rule: "directive", Pos: pkg.Fset.Position(pos), Message: msg,
 				})
 			})
-			findings = append(findings, dirFindings...)
+			rc.files[tf] = fc
+			rc.order = append(rc.order, fc)
+		}
+	}
+	return rc
+}
 
-			for _, rule := range Rules {
-				if enabled != nil && !enabled[rule.Name] {
+// fileFor resolves a position to the fileCtx containing it. All packages
+// of one Run share a single FileSet (the Loader owns it), so any package's
+// Fset resolves any position.
+func (rc *runContext) fileFor(pos token.Pos) *fileCtx {
+	if len(rc.order) == 0 {
+		return nil
+	}
+	tf := rc.order[0].pkg.Fset.File(pos)
+	if tf == nil {
+		return nil
+	}
+	return rc.files[tf]
+}
+
+// report records a finding for rule at pos unless suppressed or excluded
+// by SkipTests.
+func (rc *runContext) report(rule *Rule, pos token.Pos, msg string) {
+	fc := rc.fileFor(pos)
+	if fc == nil {
+		return
+	}
+	if rule.SkipTests && fc.isTest {
+		return
+	}
+	p := fc.pkg.Fset.Position(pos)
+	if fc.suppressed(rule.Name, p.Line) {
+		return
+	}
+	rc.findings = append(rc.findings, Finding{Rule: rule.Name, Pos: p, Message: msg})
+}
+
+// Options configures a Run beyond rule selection.
+type Options struct {
+	// Enabled selects rules by name; nil runs every rule.
+	Enabled map[string]bool
+	// UnusedDirectives adds an "unused-directive" finding for every
+	// well-formed //lint:allow whose rule ran but which suppressed nothing
+	// — the stale remnants of fixed violations.
+	UnusedDirectives bool
+}
+
+// Run executes the enabled rules over pkgs and returns the unsuppressed
+// findings sorted by position. enabled==nil runs every rule.
+func Run(pkgs []*Package, enabled map[string]bool) []Finding {
+	return RunOpts(pkgs, Options{Enabled: enabled})
+}
+
+// RunOpts is Run with full Options.
+func RunOpts(pkgs []*Package, opts Options) []Finding {
+	enabled := opts.Enabled
+	rc := newRunContext(pkgs)
+
+	for _, fc := range rc.order {
+		for _, rule := range Rules {
+			if rule.Check == nil {
+				continue
+			}
+			if enabled != nil && !enabled[rule.Name] {
+				continue
+			}
+			if rule.SkipTests && fc.isTest {
+				continue
+			}
+			rule := rule
+			pass := &Pass{Pkg: fc.pkg, File: fc.file, Filename: fc.filename}
+			pass.report = func(pos token.Pos, msg string) { rc.report(rule, pos, msg) }
+			rule.Check(pass)
+		}
+	}
+
+	var moduleRules []*Rule
+	for _, rule := range Rules {
+		if rule.ModuleCheck == nil {
+			continue
+		}
+		if enabled != nil && !enabled[rule.Name] {
+			continue
+		}
+		moduleRules = append(moduleRules, rule)
+	}
+	if len(moduleRules) > 0 {
+		graph := BuildGraph(pkgs)
+		for _, rule := range moduleRules {
+			rule.ModuleCheck(&ModulePass{Pkgs: pkgs, Graph: graph, rule: rule, rc: rc})
+		}
+	}
+
+	if opts.UnusedDirectives {
+		for _, fc := range rc.order {
+			for _, d := range fc.dirs {
+				if d.used || (enabled != nil && !enabled[d.rule]) {
 					continue
 				}
-				if rule.SkipTests && isTest {
-					continue
-				}
-				rule := rule
-				pass := &Pass{Pkg: pkg, File: file, Filename: filename}
-				pass.report = func(pos token.Pos, msg string) {
-					p := pkg.Fset.Position(pos)
-					if suppressed(dirs, rule.Name, p.Line) {
-						return
-					}
-					findings = append(findings, Finding{Rule: rule.Name, Pos: p, Message: msg})
-				}
-				rule.Check(pass)
+				rc.findings = append(rc.findings, Finding{
+					Rule: "unused-directive",
+					Pos:  fc.pkg.Fset.Position(d.pos),
+					Message: fmt.Sprintf("//lint:allow %s suppresses nothing here; remove the stale directive (reason was: %s)",
+						d.rule, d.reason),
+				})
 			}
 		}
 	}
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i], findings[j]
+
+	sort.Slice(rc.findings, func(i, j int) bool {
+		a, b := rc.findings[i], rc.findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -230,5 +456,5 @@ func Run(pkgs []*Package, enabled map[string]bool) []Finding {
 		}
 		return a.Rule < b.Rule
 	})
-	return findings
+	return rc.findings
 }

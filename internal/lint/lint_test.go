@@ -25,6 +25,11 @@ var badFixtures = []struct {
 	{"flat-view-mutation", "flatview_bad.go"},
 	{"naked-goroutine", "goroutine_bad.go"},
 	{"tensor-backend", "backend_bad.go"},
+	{"clock-taint", "clocktaint_bad.go"},
+	{"rng-escape", "rngescape_bad.go"},
+	{"ckpt-coverage", "ckptcover_bad.go"},
+	{"phase-contract", "phase_bad.go"},
+	{"no-wall-clock", "multiline_bad.go"},
 }
 
 // okFixtures hold the sanctioned patterns plus one //lint:allow-annotated
@@ -39,6 +44,11 @@ var okFixtures = []string{
 	"flatview_ok.go",
 	"goroutine_ok.go",
 	"backend_ok.go",
+	"clocktaint_ok.go",
+	"rngescape_ok.go",
+	"ckptcover_ok.go",
+	"phase_ok.go",
+	"multiline_ok.go",
 }
 
 func loadFixture(t *testing.T, name string) *lint.Package {
@@ -101,6 +111,18 @@ func TestGoldenFindings(t *testing.T) {
 // at least one finding, all carrying the rule's own name. Disabling or
 // breaking any single analyzer fails this test.
 func TestEachRuleFires(t *testing.T) {
+	// Completeness ratchet: every registered rule must have a bad fixture,
+	// so a new analyzer cannot land untested.
+	covered := map[string]bool{}
+	for _, bf := range badFixtures {
+		covered[bf.rule] = true
+	}
+	for _, name := range lint.RuleNames() {
+		if !covered[name] {
+			t.Errorf("rule %s has no bad fixture in badFixtures", name)
+		}
+	}
+
 	for _, bf := range badFixtures {
 		bf := bf
 		t.Run(bf.rule, func(t *testing.T) {

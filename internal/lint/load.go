@@ -166,9 +166,24 @@ func (l *Loader) Packages(patterns ...string) ([]*Package, error) {
 }
 
 // SingleFile parses and type-checks one standalone file (the fixture
-// loader for the analyzer tests).
+// loader for the analyzer tests). A `//lint:importpath <path>` comment
+// anywhere in the file overrides the synthetic import path, letting a
+// fixture pose as a deterministic-core package for the scope-sensitive
+// rules (clock-taint roots on internal/fl et al.).
 func (l *Loader) SingleFile(path string) (*Package, error) {
-	return l.check("fixture/"+filepath.Base(path), "", []string{path})
+	importPath := "fixture/" + filepath.Base(path)
+	if src, err := os.ReadFile(path); err == nil {
+		for _, line := range strings.Split(string(src), "\n") {
+			line = strings.TrimSpace(line)
+			if rest, ok := strings.CutPrefix(line, "//lint:importpath "); ok {
+				if p := strings.TrimSpace(rest); p != "" {
+					importPath = p
+				}
+				break
+			}
+		}
+	}
+	return l.check(importPath, "", []string{path})
 }
 
 func (l *Loader) check(importPath, dir string, files []string) (*Package, error) {

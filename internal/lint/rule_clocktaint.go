@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// deterministicCore are the package path fragments (segment-aligned) whose
+// functions form the clock-taint and phase-contract root sets: the fl
+// engines, the selectors, the RL agent and FLOAT controller, and the
+// distributed aggregator. Everything these packages transitively execute
+// is part of the bit-reproducibility contract.
+var deterministicCore = []string{
+	"internal/fl",
+	"internal/selection",
+	"internal/rl",
+	"internal/core",
+	"internal/dist",
+}
+
+// pkgInScope reports whether a package path contains one of the scope
+// fragments on path-segment boundaries ("x/internal/fl" and
+// "x/internal/fl/sub" match "internal/fl"; "x/internal/flx" does not).
+func pkgInScope(path string, scopes []string) bool {
+	for _, s := range scopes {
+		idx := strings.Index(path, s)
+		for idx >= 0 {
+			startOK := idx == 0 || path[idx-1] == '/'
+			end := idx + len(s)
+			endOK := end == len(path) || path[end] == '/'
+			if startOK && endOK {
+				return true
+			}
+			next := strings.Index(path[idx+1:], s)
+			if next < 0 {
+				break
+			}
+			idx += 1 + next
+		}
+	}
+	return false
+}
+
+// ruleClockTaint is the call-graph upgrade of no-wall-clock: instead of
+// flagging only direct package-time references, it flags every wall-clock
+// read transitively reachable from the deterministic core (fl engines,
+// selectors, RL agent/FLOAT controller, dist server+client), outside the
+// sanctioned internal/dist/clock.go. A site that carries a
+// //lint:allow no-wall-clock annotation is still tainted here — direct-use
+// sanctioning (benchmark harnesses printing elapsed time) is a different
+// decision from "the simulation core may execute this"; reaching such a
+// site from the core needs its own //lint:allow clock-taint with a reason.
+// Interface dispatch breaks the taint by design: timing routed through the
+// injected Clock resolves to no static callee.
+var ruleClockTaint = &Rule{
+	Name: "clock-taint",
+	Doc: "flags wall-clock reads transitively reachable from the fl engines, selectors, " +
+		"RL agent, or dist handlers (call-graph dataflow; internal/dist/clock.go is sanctioned)",
+	SkipTests: true,
+	ModuleCheck: func(mp *ModulePass) {
+		g := mp.Graph
+
+		// Roots: every declared function of the core packages, non-test
+		// files only, in deterministic construction order.
+		var roots []*Node
+		for _, n := range g.Nodes {
+			if n.Obj == nil || !pkgInScope(n.Pkg.Path, deterministicCore) {
+				continue
+			}
+			if mp.InTestFile(n.Pos()) {
+				continue
+			}
+			roots = append(roots, n)
+		}
+		if len(roots) == 0 {
+			return
+		}
+		pred := g.ReachableFrom(roots)
+
+		// Report each wall-clock reference owned by a reached node.
+		for _, n := range g.Nodes {
+			if _, ok := pred[n]; !ok {
+				continue
+			}
+			if mp.InTestFile(n.Pos()) || strings.HasSuffix(fileOf(n), clockSanctionedFile) {
+				continue
+			}
+			for _, ref := range wallClockRefs(g, n) {
+				mp.Report(ref.pos,
+					"time.%s is transitively reachable from the deterministic core (%s); route timing through the injected Clock (internal/dist/clock.go)",
+					ref.name, Chain(pred, n, 5))
+			}
+		}
+	},
+}
+
+// fileOf returns the slash-separated filename containing a node.
+func fileOf(n *Node) string {
+	tf := n.Pkg.Fset.File(n.Pos())
+	if tf == nil {
+		return ""
+	}
+	return strings.ReplaceAll(tf.Name(), "\\", "/")
+}
+
+type clockRef struct {
+	name string
+	pos  token.Pos
+}
+
+// wallClockRefs collects the package-time wall-clock entry points
+// referenced directly in the node's own body region.
+func wallClockRefs(g *Graph, n *Node) []clockRef {
+	var refs []clockRef
+	g.InspectOwn(n, func(node ast.Node) bool {
+		sel, ok := node.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := n.Pkg.Info.ObjectOf(sel.Sel)
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+			return true
+		}
+		if fn, isFunc := obj.(*types.Func); !isFunc || !wallClockFuncs[fn.Name()] {
+			return true
+		}
+		refs = append(refs, clockRef{name: obj.Name(), pos: sel.Pos()})
+		return true
+	})
+	return refs
+}

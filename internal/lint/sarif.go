@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+)
+
+// SARIF 2.1.0 rendering of findings — the minimal subset GitHub code
+// scanning ingests: one run, one driver, the rule metadata table, and one
+// result per finding with a physical location. The encoding is
+// deterministic: findings arrive position-sorted from Run and the rule
+// table follows registration order.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// sarifSyntheticRules are finding sources that are not registered
+// analyzers but can still appear in output.
+var sarifSyntheticRules = map[string]string{
+	"directive":        "malformed //lint:allow directive",
+	"unused-directive": "//lint:allow directive that suppresses nothing",
+}
+
+// SARIF encodes findings as an indented SARIF 2.1.0 document. root, when
+// non-empty, is stripped from file paths so locations are repo-relative
+// (what code-scanning UIs expect).
+func SARIF(findings []Finding, root string) ([]byte, error) {
+	driver := sarifDriver{
+		Name:  "floatlint",
+		Rules: []sarifRule{},
+	}
+	index := map[string]int{}
+	addRule := func(id, doc string) {
+		if _, ok := index[id]; ok {
+			return
+		}
+		index[id] = len(driver.Rules)
+		driver.Rules = append(driver.Rules, sarifRule{ID: id, ShortDescription: sarifMessage{Text: doc}})
+	}
+	for _, r := range Rules {
+		addRule(r.Name, r.Doc)
+	}
+
+	results := []sarifResult{}
+	for _, f := range findings {
+		if _, ok := index[f.Rule]; !ok {
+			doc := sarifSyntheticRules[f.Rule]
+			if doc == "" {
+				doc = f.Rule
+			}
+			addRule(f.Rule, doc)
+		}
+		line := f.Pos.Line
+		if line < 1 {
+			line = 1
+		}
+		results = append(results, sarifResult{
+			RuleID:    f.Rule,
+			RuleIndex: index[f.Rule],
+			Level:     "error",
+			Message:   sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       RelPath(f.Pos.Filename, root),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{StartLine: line, StartColumn: f.Pos.Column},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}
+
+// RelPath renders filename relative to root with forward slashes; when
+// filename is outside root (or root is empty) the slash-separated original
+// is returned.
+func RelPath(filename, root string) string {
+	name := filepath.ToSlash(filename)
+	if root == "" {
+		return name
+	}
+	r := filepath.ToSlash(root)
+	if !strings.HasSuffix(r, "/") {
+		r += "/"
+	}
+	if rest, ok := strings.CutPrefix(name, r); ok {
+		return rest
+	}
+	return name
+}

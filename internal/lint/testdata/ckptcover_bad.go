@@ -1,0 +1,31 @@
+// Fixture: the seeded fault for ckpt-coverage — a checkpoint.Stateful
+// implementer with a field that is mutated mid-run but deliberately
+// omitted from both the snapshot encoder and the restore path. This is
+// the "added a field, forgot the snapshot" bug shape the rule exists to
+// catch before a resumed run diverges.
+package fixture
+
+import "encoding/binary"
+
+type counter struct {
+	steps   uint64
+	dropped uint64 // want ckpt-coverage x2 (missing from encode and restore)
+}
+
+func (c *counter) Tick(ok bool) {
+	c.steps++
+	if !ok {
+		c.dropped++
+	}
+}
+
+func (c *counter) CheckpointState() ([]byte, error) {
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, c.steps)
+	return buf, nil
+}
+
+func (c *counter) RestoreCheckpoint(b []byte) error {
+	c.steps = binary.LittleEndian.Uint64(b)
+	return nil
+}

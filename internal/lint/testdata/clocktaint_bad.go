@@ -1,0 +1,26 @@
+// Fixture: wall-clock reads reachable from a deterministic-core package.
+// The importpath directive below makes the fixture pose as an engine
+// package, so every declared function here is a clock-taint root. The
+// direct reads carry no-wall-clock allows — clock-taint must flag them
+// anyway: sanctioning a direct read is not the same as sanctioning its
+// reachability from the core.
+//
+//lint:importpath fixture/internal/fl/clocktaint
+package fixture
+
+import "time"
+
+func runRound() time.Duration {
+	//lint:allow no-wall-clock fixture: direct-use sanctioned, reachability is not
+	start := time.Now() // want clock-taint
+	collect(func() {
+		//lint:allow no-wall-clock fixture: direct-use sanctioned, reachability is not
+		time.Sleep(time.Millisecond) // want clock-taint (via the closure node)
+	})
+	//lint:allow no-wall-clock fixture: direct-use sanctioned, reachability is not
+	return time.Since(start) // want clock-taint
+}
+
+func collect(fn func()) {
+	fn()
+}

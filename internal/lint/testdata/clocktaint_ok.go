@@ -1,0 +1,29 @@
+// Fixture: the sanctioned timing patterns for the deterministic core. An
+// injected clock interface breaks the static call chain (interface
+// dispatch resolves to no callee), and an explicit clock-taint allow
+// (stacked with the no-wall-clock allow) sanctions one reachable read.
+// Must produce zero findings.
+//
+//lint:importpath fixture/internal/fl/clocktaintok
+package fixture
+
+import "time"
+
+// clock mirrors the injectable Clock of internal/dist.
+type clock interface {
+	Now() time.Time
+}
+
+func roundStamp(c clock) time.Time {
+	return stampVia(c) // taint stops at the interface call inside
+}
+
+func stampVia(c clock) time.Time {
+	return c.Now() // interface dispatch: no static callee, no taint
+}
+
+func sanctionedFallback() time.Time {
+	//lint:allow no-wall-clock fixture: sanctioned fallback read
+	//lint:allow clock-taint fixture: reachable read explicitly accepted with a reason
+	return time.Now()
+}

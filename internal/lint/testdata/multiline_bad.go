@@ -1,0 +1,16 @@
+// Fixture: the limits of statement-extent suppression. A directive above
+// a block statement must NOT silence violations inside the block — only
+// leaf statements get extent anchors, so a single directive can never
+// sanction a whole region.
+package fixture
+
+import "time"
+
+func blanket() time.Duration {
+	//lint:allow no-wall-clock fixture: directives must not cover whole blocks
+	if true {
+		start := time.Now()      // want no-wall-clock (block body, not covered)
+		return time.Since(start) // want no-wall-clock (block body, not covered)
+	}
+	return 0
+}

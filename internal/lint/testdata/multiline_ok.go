@@ -1,0 +1,17 @@
+// Fixture: a //lint:allow directive above a multi-line statement must
+// cover the statement's full extent — the violations on the continuation
+// lines are anchored back to the statement's first line. Must produce
+// zero findings.
+package fixture
+
+import (
+	"fmt"
+	"time"
+)
+
+func report(t0 time.Time) string {
+	//lint:allow no-wall-clock fixture: one sanctioned read spanning a wrapped call
+	return fmt.Sprintf("now=%v elapsed=%v",
+		time.Now(),
+		time.Since(t0))
+}

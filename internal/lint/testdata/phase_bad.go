@@ -1,0 +1,37 @@
+// Fixture: phase-contract violations — a fan-out job literal handed to
+// forEachSlot that writes the ledger directly and through a helper (the
+// check is call-graph transitive), and one that releases a working-set
+// entry. Ledger/Cache are defined locally: the contract matches by
+// (receiver, method) name, which is what lets the fixture stay
+// self-contained.
+package fixture
+
+type Ledger struct{ rows []int }
+
+func (l *Ledger) Record(v int) { l.rows = append(l.rows, v) }
+func (l *Ledger) Rows() []int  { return l.rows }
+
+type Cache struct{ pins map[int]int }
+
+func (c *Cache) Pin(id int)   { c.pins[id]++ }
+func (c *Cache) Unpin(id int) { c.pins[id]-- }
+
+func forEachSlot(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+func runRound(led *Ledger, wc *Cache) {
+	forEachSlot(4, func(i int) {
+		led.Record(i) // want phase-contract (direct ledger write in a fan-out job)
+		tally(led, i)
+	})
+	forEachSlot(2, func(i int) {
+		wc.Pin(i) // want phase-contract (pin-state mutation in a fan-out job)
+	})
+}
+
+func tally(led *Ledger, i int) {
+	led.Record(i * 2) // want phase-contract (transitive, one hop from the job)
+}

@@ -1,0 +1,31 @@
+// Fixture: the sanctioned fan-out shapes — jobs that only touch job-local
+// state, dispatch/collect phases using the ledger outside the fan-out, and
+// one explicitly allowlisted in-job write. Must produce zero findings.
+package fixture
+
+type Ledger struct{ rows []int }
+
+func (l *Ledger) Record(v int) { l.rows = append(l.rows, v) }
+
+func forEachSlotOK(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+func runRoundOK(led *Ledger) {
+	results := make([]int, 4)
+	forEachSlotOK(4, func(i int) {
+		results[i] = i * i // job-local slot write: the sanctioned pattern
+	})
+	for _, r := range results {
+		led.Record(r) // collect phase: single-threaded ledger writes
+	}
+}
+
+func sanctionedInJob(led *Ledger) {
+	forEachSlotOK(1, func(i int) {
+		//lint:allow phase-contract fixture: single-slot fan-out, no concurrent writer exists
+		led.Record(i)
+	})
+}

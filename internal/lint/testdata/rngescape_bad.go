@@ -1,0 +1,46 @@
+// Fixture: the three RNG-stream escape shapes rng-escape must flag — a
+// package-level stream (shared, unownable), capture by go closures and
+// goroutine arguments (schedule-dependent draw order), and capture by a
+// forEachSlot fan-out literal (stream crossing the job boundary).
+// Constructors are exempt from no-global-rand, so without this rule the
+// package-level var would slip through entirely.
+package fixture
+
+import (
+	"math/rand"
+	"sync"
+)
+
+var sharedRNG = rand.New(rand.NewSource(1)) // want rng-escape
+
+func spawnCapture(rng *rand.Rand, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = rng.Int63() // want rng-escape (captured by a go closure)
+	}()
+	wg.Wait()
+}
+
+func spawnArg(rng *rand.Rand, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go worker(rng, wg) // want rng-escape (stream passed to a goroutine)
+	wg.Wait()
+}
+
+func worker(rng *rand.Rand, wg *sync.WaitGroup) {
+	defer wg.Done()
+	_ = rng.Uint64()
+}
+
+func forEachSlot(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+func fanOut(rng *rand.Rand) {
+	forEachSlot(4, func(i int) {
+		_ = rng.Intn(i + 1) // want rng-escape (crosses the fan-out boundary)
+	})
+}

@@ -1,0 +1,11 @@
+// Fixture: a well-formed //lint:allow that suppresses nothing — the
+// violation it once sanctioned is gone (time.Millisecond is a constant,
+// not a wall-clock read). Reported only under -unused-directives.
+package fixture
+
+import "time"
+
+func tidy() time.Duration {
+	//lint:allow no-wall-clock fixture: stale, the read below was removed long ago
+	return 2 * time.Millisecond
+}
