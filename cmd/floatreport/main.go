@@ -15,6 +15,13 @@
 //	floatreport -in run.jsonl -trend
 //	floatsim -dataset femnist -trace-out run.trace.jsonl
 //	floatreport -trace run.trace.jsonl
+//
+// The diff subcommand compares two timeline exports (floatsim
+// -timeline-out) and reports the first divergent round per series. It
+// exits 0 when the runs are identical and 1 on any divergence, so it
+// doubles as a determinism check in CI:
+//
+//	floatreport diff run-a.timeline run-b.timeline
 package main
 
 import (
@@ -26,6 +33,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		os.Exit(runDiff(os.Args[2:]))
+	}
 	var (
 		in    = flag.String("in", "", "path to a JSONL training log")
 		trace = flag.String("trace", "", "path to a JSONL phase trace (floatsim -trace-out); prints the trace summary instead")
@@ -76,4 +86,34 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "floatreport:", err)
 	os.Exit(1)
+}
+
+// runDiff implements `floatreport diff A B`: exit 0 when the two
+// timeline exports are identical, 1 on divergence, 2 on usage or read
+// errors.
+func runDiff(args []string) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: floatreport diff <run-a.timeline> <run-b.timeline>")
+		return 2
+	}
+	runs := make([]*report.TimelineRun, 2)
+	for i, path := range args {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "floatreport:", err)
+			return 2
+		}
+		runs[i], err = report.LoadTimelineRun(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "floatreport: %s: %v\n", path, err)
+			return 2
+		}
+	}
+	d := report.DiffTimelines(runs[0], runs[1])
+	d.Fprint(os.Stdout, args[0], args[1])
+	if d.Identical() {
+		return 0
+	}
+	return 1
 }

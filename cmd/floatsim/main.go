@@ -19,8 +19,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 
@@ -77,6 +79,9 @@ func main() {
 		logPath    = flag.String("log", "", "write a JSONL training log to this file (analyze with floatreport)")
 		metricsOut = flag.String("metrics-out", "", "write the end-of-run metrics snapshot (text exposition) to this file ('-' = stdout)")
 		traceOut   = flag.String("trace-out", "", "write the JSONL phase trace to this file ('-' = stdout; analyze with floatreport -trace)")
+		tlOut      = flag.String("timeline-out", "", "write the per-round run timeline (delta-encoded JSONL) to this file ('-' = stdout; compare runs with floatreport diff)")
+		httpAddr   = flag.String("http", "", "serve GET /v1/metrics and /v1/timeline on this address (e.g. :8080) while the run executes")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file; samples carry phase labels (select | train | aggregate)")
 		seeds      = flag.Int("seeds", 0, "run a seed sweep of this size and report mean±std instead of a single run")
 		ckptPath   = flag.String("checkpoint", "", "write crash-safe snapshots to this file (periodically with -checkpoint-every, and on SIGINT/SIGTERM)")
 		ckptEvery  = flag.Int("checkpoint-every", 0, "snapshot every N rounds (sync) or aggregations (async); requires -checkpoint")
@@ -129,16 +134,57 @@ func main() {
 	if *traceOut != "" {
 		sc.Tracer = obs.NewTracer()
 	}
+	if *tlOut != "" || *httpAddr != "" {
+		// The timeline samples the registry, so one is created on demand.
+		if sc.Metrics == nil {
+			sc.Metrics = obs.NewRegistry()
+		}
+		sc.Timeline = obs.NewTimeline(sc.Metrics, obs.DefaultTimelineCapacity)
+	}
 	// Telemetry outputs are flushed at exit even on the sweep path (the
 	// registry then accumulates across all sweep runs).
 	defer func() {
-		if sc.Metrics != nil {
+		if *metricsOut != "" {
 			writeTelemetry(*metricsOut, sc.Metrics.WriteText)
 		}
 		if sc.Tracer != nil {
 			writeTelemetry(*traceOut, sc.Tracer.WriteJSONL)
 		}
+		if *tlOut != "" {
+			writeTelemetry(*tlOut, sc.Timeline.WriteJSONL)
+		}
 	}()
+
+	if *httpAddr != "" {
+		// Live inspection plane: the handlers read the same registry and
+		// timeline ring the engine writes, so a browser or curl can watch
+		// the run converge without perturbing it.
+		mux := http.NewServeMux()
+		mux.Handle("/v1/metrics", obs.MetricsHandler(sc.Metrics))
+		mux.Handle("/v1/timeline", obs.TimelineHandler(sc.Timeline))
+		//lint:allow naked-goroutine inspection server lives for the process lifetime; the listener dies at exit
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "floatsim: http:", err)
+			}
+		}()
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "floatsim: cpuprofile:", err)
+			}
+		}()
+	}
 
 	sn, err := trace.ParseScenario(*scenario)
 	if err != nil {

@@ -1,0 +1,179 @@
+// Package bench loads and compares BENCH_*.json benchmark artifacts
+// (schema floatfl-bench/v1, written by `go test -run NONE -bench-out`).
+// Compare backs the CI perf ratchet: a fresh artifact is diffed against
+// the committed baseline and any metric past its tolerance fails the
+// build instead of silently drifting.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Schema is the artifact schema identifier this package understands.
+const Schema = "floatfl-bench/v1"
+
+// Record is one benchmark measurement in the artifact.
+type Record struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Artifact is the BENCH_*.json payload.
+type Artifact struct {
+	Schema       string             `json:"schema"`
+	GoVersion    string             `json:"go_version"`
+	GOOS         string             `json:"goos"`
+	GOARCH       string             `json:"goarch"`
+	NumCPU       int                `json:"num_cpu"`
+	Benchmarks   []Record           `json:"benchmarks"`
+	SpeedupVsRef map[string]float64 `json:"speedup_vs_ref"`
+}
+
+// Load parses and validates one artifact.
+func Load(r io.Reader) (*Artifact, error) {
+	var a Artifact
+	if err := json.NewDecoder(r).Decode(&a); err != nil {
+		return nil, fmt.Errorf("bench: parse artifact: %w", err)
+	}
+	if a.Schema != Schema {
+		return nil, fmt.Errorf("bench: schema %q, want %q", a.Schema, Schema)
+	}
+	if len(a.Benchmarks) == 0 {
+		return nil, fmt.Errorf("bench: artifact has no benchmarks")
+	}
+	return &a, nil
+}
+
+// LoadFile loads an artifact from disk.
+func LoadFile(path string) (*Artifact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	a, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return a, nil
+}
+
+// Tolerance bounds how much a metric may regress before Compare flags it.
+// Wall time is inherently noisy on shared CI machines, so its default is
+// generous; allocation counts are deterministic, so theirs is tight.
+type Tolerance struct {
+	// TimeRatio is the max allowed new/old ns_per_op (<=0 defaults to 3).
+	TimeRatio float64
+	// AllocRatio is the max allowed new/old allocs_per_op (<=0 defaults
+	// to 1.25). A baseline of zero allocs must stay at zero.
+	AllocRatio float64
+}
+
+func (t Tolerance) withDefaults() Tolerance {
+	if t.TimeRatio <= 0 {
+		t.TimeRatio = 3
+	}
+	if t.AllocRatio <= 0 {
+		t.AllocRatio = 1.25
+	}
+	return t
+}
+
+// Regression is one tolerance violation found by Compare.
+type Regression struct {
+	// Bench is the benchmark name; Metric is "ns_per_op",
+	// "allocs_per_op", or "missing" (the baseline benchmark vanished from
+	// the new artifact).
+	Bench  string
+	Metric string
+	// Old and New are the measured values; Limit is the threshold New had
+	// to stay under. All zero for Metric "missing".
+	Old, New, Limit float64
+}
+
+func (r Regression) String() string {
+	if r.Metric == "missing" {
+		return fmt.Sprintf("%s: present in baseline, missing from new artifact", r.Bench)
+	}
+	return fmt.Sprintf("%s: %s %.6g -> %.6g (limit %.6g)", r.Bench, r.Metric, r.Old, r.New, r.Limit)
+}
+
+// Compare checks every baseline benchmark against the new artifact and
+// returns the tolerance violations, sorted by benchmark name. Benchmarks
+// that exist only in the new artifact are additions, not regressions.
+func Compare(baseline, fresh *Artifact, tol Tolerance) []Regression {
+	tol = tol.withDefaults()
+	byName := make(map[string]Record, len(fresh.Benchmarks))
+	for _, r := range fresh.Benchmarks {
+		byName[r.Name] = r
+	}
+	var regs []Regression
+	for _, old := range baseline.Benchmarks {
+		cur, ok := byName[old.Name]
+		if !ok {
+			regs = append(regs, Regression{Bench: old.Name, Metric: "missing"})
+			continue
+		}
+		if old.NsPerOp > 0 {
+			if limit := old.NsPerOp * tol.TimeRatio; cur.NsPerOp > limit {
+				regs = append(regs, Regression{
+					Bench: old.Name, Metric: "ns_per_op",
+					Old: old.NsPerOp, New: cur.NsPerOp, Limit: limit,
+				})
+			}
+		}
+		allocLimit := float64(old.AllocsPerOp) * tol.AllocRatio
+		if float64(cur.AllocsPerOp) > allocLimit {
+			regs = append(regs, Regression{
+				Bench: old.Name, Metric: "allocs_per_op",
+				Old: float64(old.AllocsPerOp), New: float64(cur.AllocsPerOp), Limit: allocLimit,
+			})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Bench != regs[j].Bench {
+			return regs[i].Bench < regs[j].Bench
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	return regs
+}
+
+// FprintComparison renders the full per-benchmark comparison (all
+// metrics, not just violations) followed by any regressions.
+func FprintComparison(w io.Writer, baseline, fresh *Artifact, regs []Regression) {
+	byName := make(map[string]Record, len(fresh.Benchmarks))
+	for _, r := range fresh.Benchmarks {
+		byName[r.Name] = r
+	}
+	fmt.Fprintf(w, "%-32s %14s %14s %8s %10s %10s\n",
+		"benchmark", "old ns/op", "new ns/op", "ratio", "old allocs", "new allocs")
+	for _, old := range baseline.Benchmarks {
+		cur, ok := byName[old.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-32s %14.0f %14s\n", old.Name, old.NsPerOp, "(missing)")
+			continue
+		}
+		ratio := 0.0
+		if old.NsPerOp > 0 {
+			ratio = cur.NsPerOp / old.NsPerOp
+		}
+		fmt.Fprintf(w, "%-32s %14.0f %14.0f %7.2fx %10d %10d\n",
+			old.Name, old.NsPerOp, cur.NsPerOp, ratio, old.AllocsPerOp, cur.AllocsPerOp)
+	}
+	if len(regs) == 0 {
+		fmt.Fprintln(w, "\nno regressions")
+		return
+	}
+	fmt.Fprintf(w, "\n%d regression(s):\n", len(regs))
+	for _, r := range regs {
+		fmt.Fprintf(w, "  %s\n", r)
+	}
+}

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func artifact(records ...Record) *Artifact {
+	return &Artifact{Schema: Schema, Benchmarks: records}
+}
+
+func TestLoadValidates(t *testing.T) {
+	cases := map[string]string{
+		"not json":   "nope",
+		"bad schema": `{"schema":"other/v1","benchmarks":[{"name":"a"}]}`,
+		"empty":      `{"schema":"floatfl-bench/v1","benchmarks":[]}`,
+	}
+	for name, in := range cases {
+		if _, err := Load(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+	good := `{"schema":"floatfl-bench/v1","benchmarks":[{"name":"a","ns_per_op":10,"allocs_per_op":2}]}`
+	a, err := Load(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Benchmarks) != 1 || a.Benchmarks[0].NsPerOp != 10 {
+		t.Fatalf("artifact = %+v", a)
+	}
+}
+
+func TestCompareWithinToleranceIsClean(t *testing.T) {
+	baseline := artifact(
+		Record{Name: "round", NsPerOp: 100, AllocsPerOp: 100},
+		Record{Name: "kernel", NsPerOp: 10, AllocsPerOp: 0},
+	)
+	fresh := artifact(
+		Record{Name: "round", NsPerOp: 250, AllocsPerOp: 110}, // 2.5x time, 1.1x allocs
+		Record{Name: "kernel", NsPerOp: 12, AllocsPerOp: 0},
+		Record{Name: "brand_new", NsPerOp: 1, AllocsPerOp: 9}, // additions are fine
+	)
+	if regs := Compare(baseline, fresh, Tolerance{}); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	baseline := artifact(
+		Record{Name: "slow", NsPerOp: 100, AllocsPerOp: 100},
+		Record{Name: "leaky", NsPerOp: 100, AllocsPerOp: 100},
+		Record{Name: "zero_alloc", NsPerOp: 100, AllocsPerOp: 0},
+		Record{Name: "gone", NsPerOp: 100, AllocsPerOp: 0},
+	)
+	fresh := artifact(
+		Record{Name: "slow", NsPerOp: 301, AllocsPerOp: 100},     // > 3x time
+		Record{Name: "leaky", NsPerOp: 100, AllocsPerOp: 126},    // > 1.25x allocs
+		Record{Name: "zero_alloc", NsPerOp: 100, AllocsPerOp: 1}, // zero baseline must stay zero
+	)
+	regs := Compare(baseline, fresh, Tolerance{})
+	if len(regs) != 4 {
+		t.Fatalf("regressions = %v, want 4", regs)
+	}
+	byKey := map[string]string{}
+	for _, r := range regs {
+		byKey[r.Bench] = r.Metric
+	}
+	want := map[string]string{
+		"slow": "ns_per_op", "leaky": "allocs_per_op",
+		"zero_alloc": "allocs_per_op", "gone": "missing",
+	}
+	for bench, metric := range want {
+		if byKey[bench] != metric {
+			t.Errorf("%s: metric = %q, want %q", bench, byKey[bench], metric)
+		}
+	}
+}
+
+func TestCompareCustomTolerance(t *testing.T) {
+	baseline := artifact(Record{Name: "a", NsPerOp: 100, AllocsPerOp: 10})
+	fresh := artifact(Record{Name: "a", NsPerOp: 140, AllocsPerOp: 10})
+	if regs := Compare(baseline, fresh, Tolerance{TimeRatio: 1.2}); len(regs) != 1 {
+		t.Fatalf("tight tolerance: regs = %v, want 1", regs)
+	}
+	if regs := Compare(baseline, fresh, Tolerance{TimeRatio: 1.5}); len(regs) != 0 {
+		t.Fatalf("loose tolerance: regs = %v, want none", regs)
+	}
+}

@@ -69,6 +69,7 @@ type Float struct {
 }
 
 var _ fl.Controller = (*Float)(nil)
+var _ fl.TimelineContributor = (*Float)(nil)
 
 // New constructs a FLOAT controller.
 func New(cfg Config) *Float {
@@ -271,6 +272,44 @@ func (f *Float) Feedback(round int, c *device.Client, tech opt.Technique, out de
 	// which the guard above excludes; the agent's own validation is the
 	// backstop.
 	_ = f.agentFor(c.ID).Update(round, s, tech, out.Completed, reward, next)
+}
+
+// TimelineSeries implements fl.TimelineContributor: the agent's
+// per-action visit distribution as rl_action_visits{action="..."} series,
+// merged across per-client tables in client-ID order (integer sums, so
+// the merge is exact). Sampled at every quiescent boundary, this is the
+// timeline's view of when the RL policy shifted.
+func (f *Float) TimelineSeries() []obs.SeriesValue {
+	var actions []opt.Technique
+	var visits []int
+	if f.agent != nil {
+		actions = f.agent.Actions()
+		visits = f.agent.ActionVisits()
+	} else {
+		ids := make([]int, 0, len(f.perClient))
+		for id := range f.perClient {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			a := f.perClient[id]
+			if actions == nil {
+				actions = a.Actions()
+				visits = make([]int, len(actions))
+			}
+			for i, v := range a.ActionVisits() {
+				visits[i] += v
+			}
+		}
+	}
+	out := make([]obs.SeriesValue, 0, len(actions))
+	for i, t := range actions {
+		out = append(out, obs.SeriesValue{
+			Name:  `rl_action_visits{action="` + t.String() + `"}`,
+			Value: float64(visits[i]),
+		})
+	}
+	return out
 }
 
 // SaveAgent serializes the collective agent (pre-training for transfer).

@@ -205,3 +205,62 @@ func TestFloatReducesDropoutsEndToEnd(t *testing.T) {
 			float.Ledger.TotalDrops, baseline.Ledger.TotalDrops)
 	}
 }
+
+// TestTimelineSeriesTracksActionVisits pins the FLOAT controller's
+// timeline contribution: one rl_action_visits series per action, visit
+// counts summed across the Q-table, action order stable.
+func TestTimelineSeriesTracksActionVisits(t *testing.T) {
+	f := testFloat(9)
+	series := f.TimelineSeries()
+	if len(series) != len(opt.Actions()) {
+		t.Fatalf("series = %d, want one per action (%d)", len(series), len(opt.Actions()))
+	}
+	for i, sv := range series {
+		want := `rl_action_visits{action="` + opt.Actions()[i].String() + `"}`
+		if sv.Name != want {
+			t.Errorf("series[%d].Name = %q, want %q", i, sv.Name, want)
+		}
+		if sv.Value != 0 {
+			t.Errorf("fresh agent visits[%d] = %v, want 0", i, sv.Value)
+		}
+	}
+
+	c := testClient(t)
+	res := c.ResourcesAt(0)
+	tech := f.Decide(0, c, res, 0)
+	f.Feedback(0, c, tech, device.Outcome{Completed: true, Resources: res}, 0.1)
+	total := 0.0
+	for _, sv := range f.TimelineSeries() {
+		total += sv.Value
+	}
+	if total != 1 {
+		t.Fatalf("total visits after one feedback = %v, want 1", total)
+	}
+}
+
+// TestTimelineSeriesPerClientMode sums visits across per-client agents in
+// deterministic client-ID order.
+func TestTimelineSeriesPerClientMode(t *testing.T) {
+	f := New(Config{
+		Agent:           rl.Config{Seed: 4, TotalRounds: 50},
+		BatchSize:       20,
+		Epochs:          5,
+		ClientsPerRound: 30,
+		PerClient:       true,
+	})
+	c := testClient(t)
+	res := c.ResourcesAt(0)
+	tech := f.Decide(0, c, res, 0)
+	f.Feedback(0, c, tech, device.Outcome{Completed: true, Resources: res}, 0.1)
+	series := f.TimelineSeries()
+	if len(series) != len(opt.Actions()) {
+		t.Fatalf("series = %d, want %d", len(series), len(opt.Actions()))
+	}
+	total := 0.0
+	for _, sv := range series {
+		total += sv.Value
+	}
+	if total != 1 {
+		t.Fatalf("per-client total visits = %v, want 1", total)
+	}
+}

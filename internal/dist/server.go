@@ -95,6 +95,11 @@ type Server struct {
 	metrics    *obs.Registry
 	start      time.Time
 	holdoutAcc float64
+
+	// timeline records one delta-encoded registry sample per aggregation,
+	// served incrementally by GET /v1/timeline and carried through
+	// /v1/snapshot so a resumed server extends the same run history.
+	timeline *obs.Timeline
 }
 
 type clientInfo struct {
@@ -171,6 +176,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		metrics: cfg.Metrics,
 		start:   cfg.Clock.Now(),
 	}
+	s.timeline = obs.NewTimeline(cfg.Metrics, obs.DefaultTimelineCapacity)
 	s.mu.Lock()
 	s.armRoundTimerLocked()
 	s.syncGaugesLocked()
@@ -186,6 +192,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/update", s.handleUpdate)
 	mux.HandleFunc("/v1/status", s.handleStatus)
 	mux.HandleFunc("/v1/metrics", s.handleMetrics)
+	mux.Handle("/v1/timeline", obs.TimelineHandler(s.timeline))
 	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/v1/drain", s.handleDrain)
 	return mux
@@ -343,6 +350,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 // upload and re-fetch — the deployment analog of a deadline dropout, which
 // is also reported to the controller.
 func (s *Server) aggregateLocked() error {
+	aggregated := len(s.deltas)
 	var totalW float64
 	for _, w := range s.weights {
 		totalW += w
@@ -389,6 +397,12 @@ func (s *Server) aggregateLocked() error {
 		s.obs.holdoutAcc.Set(s.holdoutAcc)
 	}
 	s.syncGaugesLocked()
+	// Sample after the gauges are refreshed so the timeline row for the
+	// round that just closed (s.round-1; the counter already advanced)
+	// reflects the post-aggregation registry. Timestamped on the injected
+	// clock, so a FakeClock makes the timeline deterministic in tests.
+	s.timeline.Sample(s.round-1, s.clock.Now().Sub(s.start).Seconds(),
+		obs.SeriesValue{Name: "round_aggregated_updates", Value: float64(aggregated)})
 	return nil
 }
 
@@ -426,19 +440,14 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics serves the registry exposition: text by default, the
-// JSON snapshot with ?format=json.
+// JSON snapshot with ?format=json or an Accept: application/json header.
+// Unknown ?format= values get a 400 with a typed JSON error body.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "dist: GET required", http.StatusMethodNotAllowed)
+		obs.WriteHTTPError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	snap := s.metrics.Snapshot()
-	if r.URL.Query().Get("format") == "json" {
-		writeJSON(w, snap)
-		return
-	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	_ = snap.WriteText(w)
+	obs.ServeMetricsSnapshot(w, r, s.metrics.Snapshot())
 }
 
 // Round returns the current aggregation round.
@@ -470,6 +479,10 @@ func (s *Server) PartialAggregations() int {
 // Metrics exposes the server's registry (the same one /v1/metrics
 // serves), for embedding CLIs and tests.
 func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// Timeline exposes the per-aggregation run timeline (the same ring
+// /v1/timeline serves), for embedding CLIs and tests.
+func (s *Server) Timeline() *obs.Timeline { return s.timeline }
 
 func decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
 	if r.Method != http.MethodPost {

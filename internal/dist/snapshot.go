@@ -42,6 +42,7 @@ type serverState struct {
 	HoldoutAcc   float64             `json:"holdout_acc"`
 	Controller   []byte              `json:"controller,omitempty"`
 	Obs          *obs.Snapshot       `json:"obs,omitempty"`
+	Timeline     []byte              `json:"timeline,omitempty"`
 }
 
 // Snapshot serializes the aggregator's durable state — global model,
@@ -92,6 +93,9 @@ func (s *Server) Snapshot() ([]byte, error) {
 	}
 	snap := s.metrics.Snapshot()
 	st.Obs = &snap
+	if st.Timeline, err = s.timeline.CheckpointState(); err != nil {
+		return nil, fmt.Errorf("dist: snapshot timeline: %w", err)
+	}
 	payload, err := json.Marshal(st)
 	if err != nil {
 		return nil, err
@@ -189,6 +193,11 @@ func (s *Server) RestoreSnapshot(data []byte) error {
 	if st.Obs != nil {
 		if err := s.metrics.RestoreSnapshot(*st.Obs); err != nil {
 			return fmt.Errorf("dist: restore metrics: %w", err)
+		}
+	}
+	if len(st.Timeline) > 0 {
+		if err := s.timeline.RestoreCheckpoint(st.Timeline); err != nil {
+			return fmt.Errorf("dist: restore timeline: %w", err)
 		}
 	}
 	if s.holdoutAcc != 0 {

@@ -43,6 +43,11 @@ type Scale struct {
 	// instrumentation-free with zero overhead.
 	Metrics *obs.Registry
 	Tracer  *obs.Tracer
+	// Timeline, when non-nil, receives one delta-encoded sample of Metrics
+	// plus per-round engine facts at every end-of-round boundary
+	// (fl.Config.Timeline). Requires Metrics to be useful; nil disables
+	// sampling.
+	Timeline *obs.Timeline
 	// Backend selects the tensor backend for local training ("ref" |
 	// "fast"; empty = "ref"). Published figures and goldens bind to "ref".
 	Backend string

@@ -300,6 +300,7 @@ func runWith(sc Scale, spec RunSpec, ctrl fl.Controller) (*fl.Result, error) {
 		Logger:             spec.Logger,
 		Metrics:            sc.Metrics,
 		Tracer:             sc.Tracer,
+		Timeline:           sc.Timeline,
 		Checkpoint:         sc.Checkpoint,
 	}
 	if spec.Algo == "fedprox" {

@@ -309,8 +309,10 @@ func RunAsyncPop(p *population.Population, ctrl Controller, cfg Config) (*Result
 	}
 
 	for aggregations < cfg.Rounds {
-		if err := launch(); err != nil {
-			return nil, err
+		var launchErr error
+		withPhase("select", func() { launchErr = launch() })
+		if launchErr != nil {
+			return nil, launchErr
 		}
 		if tasks.Len() == 0 {
 			return nil, fmt.Errorf("fl: FedBuff deadlocked with no in-flight tasks")
@@ -377,11 +379,13 @@ func RunAsyncPop(p *population.Population, ctrl Controller, cfg Config) (*Result
 		jobs := pendingJobs
 		pool.ensure(cfg.Parallelism, len(jobs))
 		eo.fanoutJobs.Observe(float64(len(jobs)))
-		forEachSlot(len(jobs), cfg.Parallelism, func(worker, slot int) {
-			j := &jobs[slot]
-			eo.trainCalls.Inc()
-			j.lt, j.err = trainLocal(pool.ctx(worker), pool.delta(slot), global,
-				j.startParams, j.train, j.localTest, j.tech, cfg, j.round, j.clientID)
+		withPhase("train", func() {
+			forEachSlot(len(jobs), cfg.Parallelism, func(worker, slot int) {
+				j := &jobs[slot]
+				eo.trainCalls.Inc()
+				j.lt, j.err = trainLocal(pool.ctx(worker), pool.delta(slot), global,
+					j.startParams, j.train, j.localTest, j.tech, cfg, j.round, j.clientID)
+			})
 		})
 		for i := range jobs {
 			if jobs[i].err != nil {
@@ -410,8 +414,10 @@ func RunAsyncPop(p *population.Population, ctrl Controller, cfg Config) (*Result
 		pendingJobs = pendingJobs[:0]
 		pendingEvents = pendingEvents[:0]
 
-		if err := applyAggregate(global, bufDeltas, bufWeights); err != nil {
-			return nil, err
+		var aggErr error
+		withPhase("aggregate", func() { aggErr = applyAggregate(global, bufDeltas, bufWeights) })
+		if aggErr != nil {
+			return nil, aggErr
 		}
 		eo.span(obs.Span{T: now, Kind: "aggregate", Round: version, Client: -1})
 		eo.rounds.Inc()
@@ -431,6 +437,11 @@ func RunAsyncPop(p *population.Population, ctrl Controller, cfg Config) (*Result
 		// Publish population-cache telemetry at this schedule-determined
 		// point so exposition bytes never depend on Parallelism.
 		p.FlushObs()
+		// Sample before the checkpoint hook so every snapshot carries the
+		// timeline through its own aggregation — the stitching invariant.
+		sampleRoundTimeline(cfg.Timeline, ctrl, aggregations-1, now,
+			obs.SeriesValue{Name: "round_buffered_jobs", Value: float64(len(jobs))},
+			obs.SeriesValue{Name: "model_version", Value: float64(version)})
 		if stop, err := ckState.boundary(aggregations); err != nil {
 			return nil, err
 		} else if stop {

@@ -207,6 +207,7 @@ type runSnap struct {
 	Controller  []byte               `json:"controller,omitempty"`
 	Population  *population.State    `json:"population"`
 	Obs         *obs.Snapshot        `json:"obs,omitempty"`
+	Timeline    []byte               `json:"timeline,omitempty"`
 }
 
 // taskSnap is one in-flight async task. The heap's backing array is
@@ -317,6 +318,11 @@ func (s *syncRunState) buildRunSnap(roundsDone int) (runSnap, error) {
 		o := s.cfg.Metrics.Snapshot()
 		snap.Obs = &o
 	}
+	if s.cfg.Timeline != nil {
+		if snap.Timeline, err = s.cfg.Timeline.CheckpointState(); err != nil {
+			return snap, err
+		}
+	}
 	return snap, nil
 }
 
@@ -376,6 +382,11 @@ func (s *syncRunState) restore(data []byte) (int, error) {
 	s.p.RestoreResidency(snap.Population)
 	if s.cfg.Metrics != nil && snap.Obs != nil {
 		if err := s.cfg.Metrics.RestoreSnapshot(*snap.Obs); err != nil {
+			return 0, err
+		}
+	}
+	if s.cfg.Timeline != nil && len(snap.Timeline) > 0 {
+		if err := s.cfg.Timeline.RestoreCheckpoint(snap.Timeline); err != nil {
 			return 0, err
 		}
 	}
@@ -470,6 +481,11 @@ func (s *asyncRunState) snapshot(aggregations int) ([]byte, error) {
 	if s.cfg.Metrics != nil {
 		o := s.cfg.Metrics.Snapshot()
 		snap.Obs = &o
+	}
+	if s.cfg.Timeline != nil {
+		if snap.Timeline, err = s.cfg.Timeline.CheckpointState(); err != nil {
+			return nil, err
+		}
 	}
 	vs := make([]int, 0, len(s.versions))
 	for v := range s.versions {
@@ -588,6 +604,11 @@ func (s *asyncRunState) restore(data []byte) (int, error) {
 	s.p.RestoreResidency(snap.Population)
 	if s.cfg.Metrics != nil && snap.Obs != nil {
 		if err := s.cfg.Metrics.RestoreSnapshot(*snap.Obs); err != nil {
+			return 0, err
+		}
+	}
+	if s.cfg.Timeline != nil && len(snap.Timeline) > 0 {
+		if err := s.cfg.Timeline.RestoreCheckpoint(snap.Timeline); err != nil {
 			return 0, err
 		}
 	}

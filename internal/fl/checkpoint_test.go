@@ -106,13 +106,14 @@ func ckptConfig(engine string, rounds int) Config {
 }
 
 type ckptRunOut struct {
-	res     *Result
-	log     string
-	metrics string
+	res      *Result
+	log      string
+	metrics  string
+	timeline string
 }
 
 // runCkpt executes one run of the matrix on a fresh population, returning
-// the result, JSONL log, and full metrics exposition.
+// the result, JSONL log, full metrics exposition, and timeline export.
 func runCkpt(t *testing.T, engine string, clients, rounds int, lazy bool, ck *CheckpointConfig) ckptRunOut {
 	t.Helper()
 	p := ckptPop(t, clients, lazy)
@@ -123,6 +124,7 @@ func runCkpt(t *testing.T, engine string, clients, rounds int, lazy bool, ck *Ch
 	var logBuf bytes.Buffer
 	cfg := ckptConfig(engine, rounds)
 	cfg.Metrics = reg
+	cfg.Timeline = obs.NewTimeline(reg, 64)
 	cfg.Logger = NewJSONLLogger(&logBuf)
 	cfg.Checkpoint = ck
 
@@ -139,11 +141,14 @@ func runCkpt(t *testing.T, engine string, clients, rounds int, lazy bool, ck *Ch
 	if err != nil {
 		t.Fatal(err)
 	}
-	var mb bytes.Buffer
+	var mb, tb bytes.Buffer
 	if err := reg.WriteText(&mb); err != nil {
 		t.Fatal(err)
 	}
-	return ckptRunOut{res: res, log: logBuf.String(), metrics: mb.String()}
+	if err := cfg.Timeline.WriteJSONL(&tb); err != nil {
+		t.Fatal(err)
+	}
+	return ckptRunOut{res: res, log: logBuf.String(), metrics: mb.String(), timeline: tb.String()}
 }
 
 // assertResumedMatchesFull is the acceptance bar: a resumed run must be
@@ -174,6 +179,12 @@ func assertResumedMatchesFull(t *testing.T, full, prefix, resumed ckptRunOut, cl
 	}
 	if resumed.metrics != full.metrics {
 		t.Errorf("metrics exposition differs:\n--- resumed ---\n%s--- full ---\n%s", resumed.metrics, full.metrics)
+	}
+	// Stitching invariant: the snapshot carries the timeline ring, so the
+	// resumed run's export (prefix samples restored + tail sampled live)
+	// must be byte-identical to the uninterrupted run's.
+	if resumed.timeline != full.timeline {
+		t.Errorf("timeline export differs:\n--- resumed ---\n%s--- full ---\n%s", resumed.timeline, full.timeline)
 	}
 	if ra, fa := aggregatesOf(resumed.res.Ledger), aggregatesOf(full.res.Ledger); ra != fa {
 		t.Errorf("ledger aggregates differ:\n  resumed=%+v\n  full=%+v", ra, fa)
@@ -261,6 +272,7 @@ func TestChaosKillResume(t *testing.T) {
 			var snap []byte
 			cfg := ckptConfig(engine, rounds)
 			cfg.Metrics = reg
+			cfg.Timeline = obs.NewTimeline(reg, 64)
 			cfg.Logger = chaosLogger{inner: NewJSONLLogger(&logBuf), killRound: 2, killed: &killed}
 			cfg.Checkpoint = &CheckpointConfig{
 				Stop: func() bool { return killed },
@@ -293,6 +305,9 @@ func TestChaosKillResume(t *testing.T) {
 			}
 			if resumed.metrics != full.metrics {
 				t.Errorf("metrics exposition differs after chaos resume")
+			}
+			if resumed.timeline != full.timeline {
+				t.Errorf("timeline export differs after chaos resume")
 			}
 		})
 	}

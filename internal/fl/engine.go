@@ -125,6 +125,12 @@ type Config struct {
 	// comm/drop/aggregate — timestamped in virtual simulation seconds
 	// (nil disables tracing).
 	Tracer *obs.Tracer
+	// Timeline receives one delta-encoded sample of Metrics plus per-round
+	// engine facts at every quiescent boundary (end of round for the sync
+	// engine, aggregation barrier for the async engine). Controllers
+	// implementing TimelineContributor add their own series — core.Float
+	// contributes the RL action-visit distribution. Nil disables sampling.
+	Timeline *obs.Timeline
 
 	// ProxMu enables FedProx's proximal term during local training
 	// (0 = plain FedAvg local SGD).

@@ -162,39 +162,43 @@ func RunSyncPop(p *population.Population, sel selection.Selector,
 		roundStart := res.WallClockSeconds
 		info := selection.RoundInfo{Round: round, Work: refWork, DeadlineSec: deadline}
 		var ids []int
-		if useLazySel {
-			// Lazy selection probes availability itself — an O(selected)
-			// walk instead of the eager path's O(population) check-in scan.
-			ids = lazySel.SelectLazy(info, p, cfg.ClientsPerRound)
-			if len(ids) == 0 {
-				completed = round + 1
-				if stop, err := ckState.boundary(completed); err != nil {
-					return nil, err
-				} else if stop {
-					break
+		emptyRound := false
+		withPhase("select", func() {
+			if useLazySel {
+				// Lazy selection probes availability itself — an O(selected)
+				// walk instead of the eager path's O(population) check-in scan.
+				ids = lazySel.SelectLazy(info, p, cfg.ClientsPerRound)
+				emptyRound = len(ids) == 0
+			} else {
+				// Real FL servers dispatch only to clients that checked in:
+				// filter the pool to currently-available devices. Clients can
+				// still drop out mid-round if they go offline after selection.
+				checkedIn := make([]*device.Client, 0, len(pop))
+				for _, c := range pop {
+					if c.ResourcesAt(round).Available {
+						checkedIn = append(checkedIn, c)
+					}
 				}
-				continue
-			}
-		} else {
-			// Real FL servers dispatch only to clients that checked in:
-			// filter the pool to currently-available devices. Clients can
-			// still drop out mid-round if they go offline after selection.
-			checkedIn := make([]*device.Client, 0, len(pop))
-			for _, c := range pop {
-				if c.ResourcesAt(round).Available {
-					checkedIn = append(checkedIn, c)
+				if len(checkedIn) == 0 {
+					emptyRound = true
+				} else {
+					ids = sel.Select(info, checkedIn, cfg.ClientsPerRound)
 				}
 			}
-			if len(checkedIn) == 0 {
-				completed = round + 1
-				if stop, err := ckState.boundary(completed); err != nil {
-					return nil, err
-				} else if stop {
-					break
-				}
-				continue
+		})
+		if emptyRound {
+			completed = round + 1
+			sampleRoundTimeline(cfg.Timeline, ctrl, round, res.WallClockSeconds,
+				obs.SeriesValue{Name: "round_selected"},
+				obs.SeriesValue{Name: "round_completed"},
+				obs.SeriesValue{Name: "round_dropped"},
+				obs.SeriesValue{Name: "round_wall_seconds"})
+			if stop, err := ckState.boundary(completed); err != nil {
+				return nil, err
+			} else if stop {
+				break
 			}
-			ids = sel.Select(info, checkedIn, cfg.ClientsPerRound)
+			continue
 		}
 		eo.span(obs.Span{T: roundStart, Kind: "select", Round: round, Client: -1})
 		eo.selected.Add(int64(len(ids)))
@@ -237,27 +241,29 @@ func RunSyncPop(p *population.Population, sel selection.Selector,
 		// fan-out because the global model is frozen until applyAggregate.
 		globalParams := global.Parameters()
 		results := make([]syncResult, len(jobs))
-		forEachSlot(len(jobs), par, func(worker, slot int) {
-			j := jobs[slot]
-			work := workSpecFor(spec, len(j.train), cfg.Epochs)
-			out, err := device.Execute(j.client, round, work, j.tech, deadline)
-			if err != nil {
-				results[slot].err = err
-				return
-			}
-			results[slot].out = out
-			if !out.Completed {
-				return
-			}
-			eo.trainCalls.Inc()
-			lt, err := trainLocal(pool.ctx(worker), pool.delta(slot), global,
-				globalParams, j.train, j.localTest, j.tech, cfg, round, j.id)
-			if err != nil {
-				results[slot].err = err
-				return
-			}
-			results[slot].lt = lt
-			results[slot].trained = true
+		withPhase("train", func() {
+			forEachSlot(len(jobs), par, func(worker, slot int) {
+				j := jobs[slot]
+				work := workSpecFor(spec, len(j.train), cfg.Epochs)
+				out, err := device.Execute(j.client, round, work, j.tech, deadline)
+				if err != nil {
+					results[slot].err = err
+					return
+				}
+				results[slot].out = out
+				if !out.Completed {
+					return
+				}
+				eo.trainCalls.Inc()
+				lt, err := trainLocal(pool.ctx(worker), pool.delta(slot), global,
+					globalParams, j.train, j.localTest, j.tech, cfg, round, j.id)
+				if err != nil {
+					results[slot].err = err
+					return
+				}
+				results[slot].lt = lt
+				results[slot].trained = true
+			})
 		})
 
 		// Collect pass: apply every order-sensitive side effect in
@@ -298,8 +304,10 @@ func RunSyncPop(p *population.Population, sel selection.Selector,
 			cfg.Logger.LogClientRound(clientRoundLog(round, j.id, j.tech, out, accImprove))
 		}
 
-		if err := applyAggregate(global, deltas, weights); err != nil {
-			return nil, err
+		var aggErr error
+		withPhase("aggregate", func() { aggErr = applyAggregate(global, deltas, weights) })
+		if aggErr != nil {
+			return nil, aggErr
 		}
 		// The round's pins are dropped only after every side effect that
 		// needs the client instance has run.
@@ -337,6 +345,13 @@ func RunSyncPop(p *population.Population, sel selection.Selector,
 		// point so exposition bytes never depend on Parallelism.
 		p.FlushObs()
 		completed = round + 1
+		// Sample before the checkpoint hook so every snapshot carries the
+		// timeline through its own round — the stitching invariant.
+		sampleRoundTimeline(cfg.Timeline, ctrl, round, res.WallClockSeconds,
+			obs.SeriesValue{Name: "round_selected", Value: float64(len(ids))},
+			obs.SeriesValue{Name: "round_completed", Value: float64(len(deltas))},
+			obs.SeriesValue{Name: "round_dropped", Value: float64(len(ids) - len(deltas))},
+			obs.SeriesValue{Name: "round_wall_seconds", Value: roundWall})
 		if stop, err := ckState.boundary(completed); err != nil {
 			return nil, err
 		} else if stop {

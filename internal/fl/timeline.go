@@ -1,0 +1,49 @@
+package fl
+
+import (
+	"context"
+	"runtime/pprof"
+
+	"floatfl/internal/obs"
+)
+
+// TimelineContributor is implemented by controllers that expose extra
+// per-round timeline series beyond what the metrics registry already
+// records — core.Float contributes the RL agent's per-action visit
+// distribution, which is how a timeline shows *when* the policy shifted.
+// TimelineSeries is called only at the engines' quiescent boundaries
+// (single-threaded), must be read-only, and must return name-sorted,
+// deterministically computed values: the series land verbatim in the
+// byte-compared timeline export.
+type TimelineContributor interface {
+	TimelineSeries() []obs.SeriesValue
+}
+
+// sampleRoundTimeline records one timeline sample at a quiescent
+// boundary: the full registry snapshot, the engine's per-round facts
+// (extra), and the controller's contributed series. It must run at the
+// same schedule-determined point as p.FlushObs — after all of the
+// round's metric updates, before the checkpoint boundary hook — so the
+// sample stream is identical across Parallelism and lands inside every
+// snapshot that covers its round.
+func sampleRoundTimeline(tl *obs.Timeline, ctrl Controller, round int, clock float64, extra ...obs.SeriesValue) {
+	if tl == nil {
+		return
+	}
+	if tc, ok := ctrl.(TimelineContributor); ok {
+		extra = append(extra, tc.TimelineSeries()...)
+	}
+	tl.Sample(round, clock, extra...)
+}
+
+// withPhase runs fn under a pprof "phase" label so -cpuprofile output
+// attributes samples to round phases (select/train/aggregate). Goroutines
+// spawned inside fn — the forEachSlot worker pool — inherit the label, so
+// fan-out training time is attributed too. Labels live outside the
+// determinism contract: they annotate the profiler's sampling, never the
+// run's outputs.
+func withPhase(name string, fn func()) {
+	pprof.Do(context.Background(), pprof.Labels("phase", name), func(context.Context) {
+		fn()
+	})
+}

@@ -1,0 +1,82 @@
+package fl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"floatfl/internal/obs"
+	"floatfl/internal/selection"
+)
+
+// runTimelineCell runs one cell of the determinism matrix and returns the
+// timeline JSONL export plus the run result.
+func runTimelineCell(t *testing.T, engine string, lazy bool, par int) (string, *Result) {
+	t.Helper()
+	const clients = 24
+	p := ckptPop(t, clients, lazy)
+	reg := obs.NewRegistry()
+	if lazy {
+		p.Instrument(reg)
+	}
+	cfg := ckptConfig(engine, 4)
+	cfg.Parallelism = par
+	cfg.Metrics = reg
+	cfg.Timeline = obs.NewTimeline(reg, 64)
+
+	var res *Result
+	var err error
+	if engine == "async" {
+		res, err = RunAsyncPop(p, newCkptCtrl(), cfg)
+	} else {
+		res, err = RunSyncPop(p, selection.NewRandom(7), newCkptCtrl(), cfg)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cfg.Timeline.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), res
+}
+
+// TestTimelineDeterminismMatrix is the tentpole acceptance test for the
+// run timeline: for each engine over each population mode, the timeline
+// export must be byte-identical between Parallelism=1 and Parallelism=8.
+// Sampling happens at the engines' quiescent boundaries, so worker count
+// must be invisible in every sampled series.
+func TestTimelineDeterminismMatrix(t *testing.T) {
+	for _, engine := range []string{"sync-random", "async"} {
+		for _, lazy := range []bool{false, true} {
+			name := engine + "/eager"
+			if lazy {
+				name = engine + "/lazy"
+			}
+			t.Run(name, func(t *testing.T) {
+				e1, res := runTimelineCell(t, engine, lazy, 1)
+				e8, _ := runTimelineCell(t, engine, lazy, 8)
+				if e1 != e8 {
+					t.Errorf("timeline differs between P=1 and P=8:\n--- P=1 ---\n%s--- P=8 ---\n%s", e1, e8)
+				}
+
+				lines := strings.Split(strings.TrimRight(e1, "\n"), "\n")
+				// Header + one sample per completed round/aggregation.
+				if want := res.CompletedRounds + 1; len(lines) != want {
+					t.Errorf("export has %d lines, want %d (header + %d samples)",
+						len(lines), want, res.CompletedRounds)
+				}
+				// Engine facts ride along with the registry series.
+				extras := []string{`"round_selected"`, `"round_completed"`, `"round_dropped"`, `"round_wall_seconds"`}
+				if engine == "async" {
+					extras = []string{`"round_buffered_jobs"`, `"model_version"`}
+				}
+				for _, series := range append(extras, `"fl_rounds_total"`) {
+					if !strings.Contains(e1, series) {
+						t.Errorf("export missing series %s", series)
+					}
+				}
+			})
+		}
+	}
+}

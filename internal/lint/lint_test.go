@@ -49,6 +49,7 @@ var okFixtures = []string{
 	"ckptcover_ok.go",
 	"phase_ok.go",
 	"multiline_ok.go",
+	"timeline_ok.go",
 }
 
 func loadFixture(t *testing.T, name string) *lint.Package {

@@ -1,0 +1,85 @@
+// Fixture: the run-timeline sampler idiom — delta encoding via per-key
+// map writes (order-independent), ring eviction folding values forward,
+// sorted-series export, the sample clock flowing in as plain data (never
+// read from package time), and every mutable field carried by
+// CheckpointState/RestoreCheckpoint. Must produce zero findings under
+// map-order-hazard, clock-taint, and ckpt-coverage.
+//
+//lint:importpath fixture/internal/fl/timelineok
+package fixture
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// sampler is a miniature run timeline: a bounded ring of delta-encoded
+// samples over a flat series namespace.
+type sampler struct {
+	capacity int // set only by newSampler: configuration, not mutable state
+	last     map[string]float64
+	samples  []map[string]float64
+	dropped  int
+}
+
+func newSampler(capacity int) *sampler {
+	return &sampler{capacity: capacity, last: map[string]float64{}}
+}
+
+// sample delta-encodes cur against the carried view and bounds the ring.
+// Per-key map writes touch independent cells, so ranging the snapshot map
+// is order-free; the eviction fold writes per-key too.
+func (s *sampler) sample(clock float64, cur map[string]float64) {
+	changed := map[string]float64{"clock": clock} // clock arrives as data, not from package time
+	for name, v := range cur {
+		if prev, ok := s.last[name]; !ok || prev != v {
+			changed[name] = v
+			s.last[name] = v
+		}
+	}
+	s.samples = append(s.samples, changed)
+	for len(s.samples) > s.capacity {
+		for name, v := range s.samples[0] {
+			if _, ok := s.samples[1][name]; !ok {
+				s.samples[1][name] = v
+			}
+		}
+		s.samples = s.samples[1:]
+		s.dropped++
+	}
+}
+
+// seriesNames renders the namespace in sorted order: collect-then-sort
+// makes the map iteration order irrelevant to the export bytes.
+func (s *sampler) seriesNames() []string {
+	var names []string
+	for name := range s.last {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// samplerState is the checkpoint payload: the complete ring plus the
+// carry-forward view, so a restored sampler delta-encodes its next sample
+// against exactly the snapshotted state.
+type samplerState struct {
+	Last    map[string]float64   `json:"last"`
+	Samples []map[string]float64 `json:"samples"`
+	Dropped int                  `json:"dropped"`
+}
+
+func (s *sampler) CheckpointState() ([]byte, error) {
+	return json.Marshal(samplerState{Last: s.last, Samples: s.samples, Dropped: s.dropped})
+}
+
+func (s *sampler) RestoreCheckpoint(b []byte) error {
+	var st samplerState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return err
+	}
+	s.last = st.Last
+	s.samples = st.Samples
+	s.dropped = st.Dropped
+	return nil
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// ErrorBody is the typed JSON error envelope every obs-served endpoint
+// (and the dist server's JSON endpoints) returns on client errors, so
+// callers can always decode failures instead of scraping plain text.
+type ErrorBody struct {
+	Error string `json:"error"`
+}
+
+// WriteHTTPError writes a typed JSON error body with the given status.
+func WriteHTTPError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(ErrorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// MetricsFormat resolves the response format for a metrics request:
+// an explicit ?format=text|json wins, otherwise an Accept header naming
+// application/json selects JSON, otherwise text. An unknown ?format=
+// value is an error — silently serving text to a caller that asked for
+// something specific hides their bug.
+func MetricsFormat(r *http.Request) (string, error) {
+	switch f := r.URL.Query().Get("format"); f {
+	case "json", "text":
+		return f, nil
+	case "":
+	default:
+		return "", fmt.Errorf("unknown format %q (want \"text\" or \"json\")", f)
+	}
+	if strings.Contains(r.Header.Get("Accept"), "application/json") {
+		return "json", nil
+	}
+	return "text", nil
+}
+
+// ServeMetricsSnapshot writes an already-collected snapshot honoring the
+// request's format negotiation (see MetricsFormat), with an explicit
+// Content-Type either way.
+func ServeMetricsSnapshot(w http.ResponseWriter, r *http.Request, snap Snapshot) {
+	format, err := MetricsFormat(r)
+	if err != nil {
+		WriteHTTPError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if format == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(snap)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = snap.WriteText(w)
+}
+
+// MetricsHandler serves a registry's exposition — the handler behind
+// floatsim -http's /v1/metrics (the dist server wires the same
+// negotiation through its own handler so both planes behave identically).
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			WriteHTTPError(w, http.StatusMethodNotAllowed, "GET required")
+			return
+		}
+		ServeMetricsSnapshot(w, r, reg.Snapshot())
+	})
+}
+
+// TimelineResponse is the JSON body of GET /v1/timeline: the retained
+// (or, with ?since=N, the incremental) samples plus the cursor a poller
+// feeds back as ?since= on its next read.
+type TimelineResponse struct {
+	Schema  string           `json:"schema"`
+	Latest  int              `json:"latest"`
+	Dropped int              `json:"dropped"`
+	Samples []TimelineSample `json:"samples"`
+}
+
+// TimelineHandler serves a timeline ring as incremental JSON:
+// GET /v1/timeline returns every retained sample, ?since=N only samples
+// with round > N. Samples are delta-encoded exactly as stored — a poller
+// carries values forward across reads the same way the exporter does.
+func TimelineHandler(t *Timeline) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			WriteHTTPError(w, http.StatusMethodNotAllowed, "GET required")
+			return
+		}
+		since := -1 << 62
+		if raw := r.URL.Query().Get("since"); raw != "" {
+			n, err := strconv.Atoi(raw)
+			if err != nil {
+				WriteHTTPError(w, http.StatusBadRequest, "bad since %q: %v", raw, err)
+				return
+			}
+			since = n
+		}
+		resp := TimelineResponse{
+			Schema:  timelineSchema,
+			Latest:  t.LatestRound(),
+			Dropped: t.Dropped(),
+			Samples: t.SamplesSince(since),
+		}
+		if resp.Samples == nil {
+			resp.Samples = []TimelineSample{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(resp)
+	})
+}

@@ -1,0 +1,361 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// timelineSchema versions the timeline export and checkpoint payloads.
+const timelineSchema = "floatfl-timeline/v1"
+
+// DefaultTimelineCapacity bounds the sample ring when the caller does not
+// choose a capacity. At one sample per round this covers multi-thousand
+// round runs before the ring starts folding.
+const DefaultTimelineCapacity = 4096
+
+// SeriesValue is one named engine fact contributed alongside the registry
+// snapshot at a sample point — per-round selected/dropped counts, the
+// global accuracy, RL action visit counts. Names share the registry's
+// exposition namespace, so contributors must not collide with registered
+// metric names.
+type SeriesValue struct {
+	Name  string
+	Value float64
+}
+
+// TimelineSample is one quiescent-boundary observation. Values holds only
+// the series whose value changed since the previous retained sample
+// (absolute values, not diffs); the oldest sample in a ring always holds
+// the complete series set, so any suffix of a timeline reconstructs every
+// series by carrying values forward.
+type TimelineSample struct {
+	Round  int                `json:"round"`
+	Clock  float64            `json:"clock"`
+	Values map[string]float64 `json:"values"`
+}
+
+// TimelineHeader is the first line of a timeline JSONL export.
+type TimelineHeader struct {
+	Schema   string `json:"schema"`
+	Capacity int    `json:"capacity"`
+	Dropped  int    `json:"dropped"`
+}
+
+// Timeline is a bounded ring of delta-encoded per-round samples of a
+// metrics registry plus caller-supplied engine facts. Sampling happens at
+// the engines' quiescent boundaries (single-threaded, after FlushObs), so
+// for a fixed seed the sample stream — and therefore the JSONL export —
+// is byte-identical across Parallelism, GOMAXPROCS, and eager/lazy
+// populations. The mutex exists for the live inspection plane: HTTP
+// readers may walk the ring while the engine owns the write side.
+//
+// Timeline implements checkpoint.Stateful so a resumed run continues the
+// sample stream exactly where the snapshot left off (stitching invariant:
+// run-N → resume-N exports the same bytes as run-2N).
+//
+// All methods are nil-receiver safe; an unconfigured engine pays one
+// branch per boundary.
+type Timeline struct {
+	mu  sync.Mutex
+	reg *Registry
+
+	capacity int
+	samples  []TimelineSample
+	// last is the carry-forward view: the absolute value of every series
+	// ever sampled, used to delta-compare the next sample.
+	last map[string]float64
+	// dropped counts samples evicted (folded forward) by the ring bound.
+	dropped int
+}
+
+// NewTimeline builds a timeline over reg (which may be nil — then only
+// the extra SeriesValues are sampled). capacity <= 0 selects
+// DefaultTimelineCapacity.
+func NewTimeline(reg *Registry, capacity int) *Timeline {
+	if capacity <= 0 {
+		capacity = DefaultTimelineCapacity
+	}
+	return &Timeline{
+		reg:      reg,
+		capacity: capacity,
+		last:     make(map[string]float64),
+	}
+}
+
+// flattenSnapshot projects a registry snapshot onto the flat series
+// namespace used by samples, mirroring the text exposition's names:
+// counters and gauges keep their own name, histograms expand to
+// name_count, name_sum, and one name_bucket{le="..."} per bucket.
+func flattenSnapshot(s Snapshot, dst map[string]float64) {
+	for _, c := range s.Counters {
+		dst[c.Name] = float64(c.Value)
+	}
+	for _, g := range s.Gauges {
+		dst[g.Name] = g.Value
+	}
+	for _, h := range s.Histograms {
+		dst[h.Name+"_count"] = float64(h.Count)
+		dst[h.Name+"_sum"] = h.Sum
+		for _, b := range h.Buckets {
+			dst[h.Name+`_bucket{le="`+b.LE+`"}`] = float64(b.Count)
+		}
+	}
+}
+
+// Sample records one observation at (round, clock): the full registry
+// snapshot plus the extra series, delta-encoded against the previous
+// sample. Must be called from a quiescent, single-threaded point (no
+// in-flight Observe/Inc racing the snapshot) — the engines call it at
+// their end-of-round boundaries, the dist server under its mutex.
+func (t *Timeline) Sample(round int, clock float64, extra ...SeriesValue) {
+	if t == nil {
+		return
+	}
+	cur := make(map[string]float64)
+	if t.reg != nil {
+		flattenSnapshot(t.reg.Snapshot(), cur)
+	}
+	for _, sv := range extra {
+		cur[sv.Name] = sv.Value
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	changed := make(map[string]float64)
+	for name, v := range cur {
+		if prev, ok := t.last[name]; !ok || prev != v {
+			changed[name] = v
+			t.last[name] = v
+		}
+	}
+	t.samples = append(t.samples, TimelineSample{Round: round, Clock: clock, Values: changed})
+	for len(t.samples) > t.capacity {
+		// Fold the evicted sample forward so the new oldest sample stays a
+		// complete snapshot: any series it does not override keeps the
+		// evicted sample's value.
+		evicted := t.samples[0]
+		next := t.samples[1]
+		for name, v := range evicted.Values {
+			if _, ok := next.Values[name]; !ok {
+				next.Values[name] = v
+			}
+		}
+		copy(t.samples, t.samples[1:])
+		t.samples = t.samples[:len(t.samples)-1]
+		t.dropped++
+	}
+}
+
+// Len returns the number of retained samples (0 for nil).
+func (t *Timeline) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.samples)
+}
+
+// Dropped returns how many samples the ring bound has evicted.
+func (t *Timeline) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Samples returns a deep copy of the retained samples in round order.
+func (t *Timeline) Samples() []TimelineSample {
+	return t.SamplesSince(-1 << 62)
+}
+
+// SamplesSince returns a deep copy of the retained samples with
+// Round > since — the incremental-read primitive behind
+// GET /v1/timeline?since=N. Values maps are copied so concurrent ring
+// folding can never mutate a response in flight. Note the returned slice
+// is a ring suffix: its first sample carries only the series that changed
+// after `since`, so incremental readers must carry earlier values forward
+// themselves (which they have, from the previous read).
+func (t *Timeline) SamplesSince(since int) []TimelineSample {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TimelineSample, 0, len(t.samples))
+	for _, s := range t.samples {
+		if s.Round <= since {
+			continue
+		}
+		vals := make(map[string]float64, len(s.Values))
+		for name, v := range s.Values {
+			vals[name] = v
+		}
+		out = append(out, TimelineSample{Round: s.Round, Clock: s.Clock, Values: vals})
+	}
+	return out
+}
+
+// LatestRound returns the round of the newest retained sample, or -1 when
+// the timeline is empty — the cursor a poller feeds back as ?since=.
+func (t *Timeline) LatestRound() int {
+	if t == nil {
+		return -1
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.samples) == 0 {
+		return -1
+	}
+	return t.samples[len(t.samples)-1].Round
+}
+
+// WriteJSONL renders the timeline as one header line plus one sample per
+// line. encoding/json sorts map keys and uses shortest-round-trip float
+// formatting, so equal timelines always produce equal bytes — the export
+// is the byte-comparison surface of the determinism contract.
+func (t *Timeline) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	header := TimelineHeader{Schema: timelineSchema, Capacity: t.capacity, Dropped: t.dropped}
+	samples := t.samples
+	// Marshal under the lock: ring folds mutate retained Values maps.
+	lines := make([][]byte, 0, len(samples)+1)
+	hb, err := json.Marshal(header)
+	if err != nil {
+		t.mu.Unlock()
+		return err
+	}
+	lines = append(lines, hb)
+	for _, s := range samples {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.mu.Unlock()
+			return err
+		}
+		lines = append(lines, b)
+	}
+	t.mu.Unlock()
+	for _, line := range lines {
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadTimeline parses a timeline written by WriteJSONL: a header line
+// followed by samples. Blank lines are skipped; a malformed line or a
+// schema mismatch is an error (timelines are machine-written).
+func ReadTimeline(r io.Reader) (TimelineHeader, []TimelineSample, error) {
+	var header TimelineHeader
+	var samples []TimelineSample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	sawHeader := false
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if !sawHeader {
+			if err := json.Unmarshal(line, &header); err != nil {
+				return header, nil, fmt.Errorf("obs: timeline line %d: %w", lineNo, err)
+			}
+			if header.Schema != timelineSchema {
+				return header, nil, fmt.Errorf("obs: timeline schema %q, want %q", header.Schema, timelineSchema)
+			}
+			if header.Capacity <= 0 {
+				return header, nil, fmt.Errorf("obs: timeline capacity %d must be positive", header.Capacity)
+			}
+			sawHeader = true
+			continue
+		}
+		var s TimelineSample
+		if err := json.Unmarshal(line, &s); err != nil {
+			return header, nil, fmt.Errorf("obs: timeline line %d: %w", lineNo, err)
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return header, nil, err
+	}
+	if !sawHeader {
+		return header, nil, fmt.Errorf("obs: timeline is empty (missing header line)")
+	}
+	return header, samples, nil
+}
+
+// timelineState is the checkpoint payload: the complete ring plus the
+// carry-forward view, so a restored timeline delta-encodes its next
+// sample against exactly the state the snapshotted run saw.
+type timelineState struct {
+	Schema   string             `json:"schema"`
+	Capacity int                `json:"capacity"`
+	Dropped  int                `json:"dropped"`
+	Last     map[string]float64 `json:"last"`
+	Samples  []TimelineSample   `json:"samples"`
+}
+
+// CheckpointState implements checkpoint.Stateful.
+func (t *Timeline) CheckpointState() ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return json.Marshal(timelineState{
+		Schema:   timelineSchema,
+		Capacity: t.capacity,
+		Dropped:  t.dropped,
+		Last:     t.last,
+		Samples:  t.samples,
+	})
+}
+
+// RestoreCheckpoint implements checkpoint.Stateful. The payload is
+// validated before any field is mutated; on error the timeline is
+// unchanged. The ring capacity is restored from the snapshot (it is part
+// of what makes the stitched export byte-identical to an uninterrupted
+// run).
+func (t *Timeline) RestoreCheckpoint(data []byte) error {
+	var st timelineState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("obs: timeline restore: %w", err)
+	}
+	if st.Schema != timelineSchema {
+		return fmt.Errorf("obs: timeline restore: schema %q, want %q", st.Schema, timelineSchema)
+	}
+	if st.Capacity <= 0 {
+		return fmt.Errorf("obs: timeline restore: capacity %d must be positive", st.Capacity)
+	}
+	if len(st.Samples) > st.Capacity {
+		return fmt.Errorf("obs: timeline restore: %d samples exceed capacity %d", len(st.Samples), st.Capacity)
+	}
+	for i := 1; i < len(st.Samples); i++ {
+		if st.Samples[i].Round <= st.Samples[i-1].Round {
+			return fmt.Errorf("obs: timeline restore: sample rounds not increasing at index %d", i)
+		}
+	}
+	if st.Last == nil {
+		st.Last = make(map[string]float64)
+	}
+	for i := range st.Samples {
+		if st.Samples[i].Values == nil {
+			st.Samples[i].Values = make(map[string]float64)
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.capacity = st.Capacity
+	t.dropped = st.Dropped
+	t.last = st.Last
+	t.samples = st.Samples
+	return nil
+}

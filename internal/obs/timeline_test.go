@@ -1,0 +1,371 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// timelineFixture builds a registry with one of each instrument and a
+// timeline over it.
+func timelineFixture(capacity int) (*Registry, *Timeline, *Counter, *Gauge, *Histogram) {
+	reg := NewRegistry()
+	c := reg.Counter("t_events_total")
+	g := reg.Gauge("t_level")
+	h := reg.Histogram("t_latency_seconds", []float64{1, 10})
+	return reg, NewTimeline(reg, capacity), c, g, h
+}
+
+func TestTimelineDeltaEncoding(t *testing.T) {
+	_, tl, c, g, h := timelineFixture(16)
+	c.Inc()
+	g.Set(0.5)
+	h.Observe(2)
+	tl.Sample(0, 10, SeriesValue{Name: "extra", Value: 7})
+
+	samples := tl.Samples()
+	if len(samples) != 1 {
+		t.Fatalf("samples = %d, want 1", len(samples))
+	}
+	first := samples[0]
+	if first.Round != 0 || first.Clock != 10 {
+		t.Fatalf("first sample = %+v", first)
+	}
+	// The first sample is a full snapshot: every series appears even when
+	// zero-valued.
+	for _, name := range []string{
+		"t_events_total", "t_level", "t_latency_seconds_count",
+		"t_latency_seconds_sum", `t_latency_seconds_bucket{le="1"}`,
+		`t_latency_seconds_bucket{le="10"}`, `t_latency_seconds_bucket{le="+Inf"}`,
+		"extra",
+	} {
+		if _, ok := first.Values[name]; !ok {
+			t.Errorf("first sample missing series %q", name)
+		}
+	}
+
+	// A second sample with one counter bump carries only the changed
+	// series (and drops the vanished one-shot extra).
+	c.Inc()
+	tl.Sample(1, 20)
+	second := tl.Samples()[1]
+	if got := second.Values["t_events_total"]; got != 2 {
+		t.Fatalf("t_events_total = %v, want 2 (absolute, not delta)", got)
+	}
+	if _, ok := second.Values["t_level"]; ok {
+		t.Errorf("unchanged gauge should be omitted from delta sample")
+	}
+	if len(second.Values) != 1 {
+		t.Errorf("delta sample carries %d series, want 1: %v", len(second.Values), second.Values)
+	}
+
+	// An unchanged registry yields an empty (but still present) sample.
+	tl.Sample(2, 30)
+	if third := tl.Samples()[2]; len(third.Values) != 0 {
+		t.Errorf("no-change sample carries values: %v", third.Values)
+	}
+}
+
+func TestTimelineRingFoldPreservesAbsoluteState(t *testing.T) {
+	_, tl, c, _, _ := timelineFixture(3)
+	for round := 0; round < 6; round++ {
+		c.Inc()
+		tl.Sample(round, float64(round))
+	}
+	if tl.Len() != 3 {
+		t.Fatalf("len = %d, want 3", tl.Len())
+	}
+	if tl.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", tl.Dropped())
+	}
+	samples := tl.Samples()
+	// Invariant: after eviction the oldest retained sample must still be a
+	// full snapshot — the evicted samples' values folded forward — so a
+	// reader reconstructs absolute state without the dropped prefix.
+	oldest := samples[0]
+	if oldest.Round != 3 {
+		t.Fatalf("oldest round = %d, want 3", oldest.Round)
+	}
+	if got := oldest.Values["t_events_total"]; got != 4 {
+		t.Fatalf("folded t_events_total = %v, want 4", got)
+	}
+	for _, name := range []string{"t_level", "t_latency_seconds_count"} {
+		if _, ok := oldest.Values[name]; !ok {
+			t.Errorf("fold lost series %q", name)
+		}
+	}
+}
+
+func TestTimelineJSONLRoundTrip(t *testing.T) {
+	_, tl, c, g, _ := timelineFixture(8)
+	for round := 0; round < 3; round++ {
+		c.Add(int64(round + 1))
+		g.Set(float64(round) / 2)
+		tl.Sample(round, float64(round)*5)
+	}
+	var buf bytes.Buffer
+	if err := tl.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	hdr, samples, err := ReadTimeline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Schema != timelineSchema || hdr.Capacity != 8 || hdr.Dropped != 0 {
+		t.Fatalf("header = %+v", hdr)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("samples = %d, want 3", len(samples))
+	}
+	want := tl.Samples()
+	for i := range samples {
+		a, _ := json.Marshal(samples[i])
+		b, _ := json.Marshal(want[i])
+		if !bytes.Equal(a, b) {
+			t.Errorf("sample %d: %s != %s", i, a, b)
+		}
+	}
+
+	// Byte reproducibility: two exports of the same ring are identical.
+	var buf2 bytes.Buffer
+	if err := tl.WriteJSONL(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	var buf3 bytes.Buffer
+	if err := tl.WriteJSONL(&buf3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf2.Bytes(), buf3.Bytes()) {
+		t.Fatal("repeated exports differ")
+	}
+}
+
+func TestReadTimelineRejectsMalformedInput(t *testing.T) {
+	cases := map[string]string{
+		"empty":      "",
+		"bad header": "not json\n",
+		"bad schema": `{"schema":"other/v9","capacity":4,"dropped":0}` + "\n",
+		"bad sample": `{"schema":"floatfl-timeline/v1","capacity":4,"dropped":0}` + "\nnope\n",
+		"zero cap":   `{"schema":"floatfl-timeline/v1","capacity":0,"dropped":0}` + "\n",
+	}
+	for name, in := range cases {
+		if _, _, err := ReadTimeline(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+}
+
+func TestTimelineCheckpointRoundTrip(t *testing.T) {
+	regA, tlA, cA, gA, _ := timelineFixture(4)
+	for round := 0; round < 6; round++ { // overflow the ring on purpose
+		cA.Inc()
+		gA.Set(float64(round))
+		tlA.Sample(round, float64(round))
+	}
+	state, err := tlA.CheckpointState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	regB := NewRegistry()
+	tlB := NewTimeline(regB, 4)
+	if err := tlB.RestoreCheckpoint(state); err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := tlA.WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tlB.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("restored export differs:\n%s\nvs\n%s", a.Bytes(), b.Bytes())
+	}
+
+	// The restored timeline keeps delta-encoding against the carried
+	// `last` view: an unchanged registry must produce an empty sample,
+	// exactly as the original would.
+	_ = regA
+	if err := regB.RestoreSnapshot(regA.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	tlB.Sample(6, 6)
+	if s := tlB.Samples(); len(s[len(s)-1].Values) != 0 {
+		t.Fatalf("post-restore sample should be empty, got %v", s[len(s)-1].Values)
+	}
+}
+
+func TestTimelineRestoreRejectsInvalidState(t *testing.T) {
+	_, tl, _, _, _ := timelineFixture(4)
+	tl.Sample(0, 0)
+	before, err := tl.CheckpointState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"not json":        "nope",
+		"wrong schema":    `{"schema":"x","capacity":4,"dropped":0}`,
+		"zero capacity":   `{"schema":"floatfl-timeline/v1","capacity":0}`,
+		"overfull":        `{"schema":"floatfl-timeline/v1","capacity":1,"samples":[{"round":0,"clock":0},{"round":1,"clock":1}]}`,
+		"rounds not incr": `{"schema":"floatfl-timeline/v1","capacity":4,"samples":[{"round":1,"clock":0},{"round":1,"clock":1}]}`,
+	}
+	for name, in := range cases {
+		if err := tl.RestoreCheckpoint([]byte(in)); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+	// Validate-before-mutate: the failed restores left the timeline
+	// untouched.
+	after, err := tl.CheckpointState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("rejected restore mutated the timeline")
+	}
+}
+
+func TestTimelineSamplesSince(t *testing.T) {
+	_, tl, c, _, _ := timelineFixture(8)
+	for round := 0; round < 4; round++ {
+		c.Inc()
+		tl.Sample(round, float64(round))
+	}
+	if got := len(tl.SamplesSince(-1)); got != 4 {
+		t.Fatalf("since -1: %d, want 4", got)
+	}
+	inc := tl.SamplesSince(1)
+	if len(inc) != 2 || inc[0].Round != 2 || inc[1].Round != 3 {
+		t.Fatalf("since 1: %+v", inc)
+	}
+	if got := len(tl.SamplesSince(3)); got != 0 {
+		t.Fatalf("since 3: %d, want 0", got)
+	}
+	if got := tl.LatestRound(); got != 3 {
+		t.Fatalf("latest = %d, want 3", got)
+	}
+	// The returned samples are deep copies: mutating them must not corrupt
+	// the ring.
+	inc[0].Values["t_events_total"] = -99
+	if v := tl.Samples()[2].Values["t_events_total"]; v == -99 {
+		t.Fatal("SamplesSince aliases internal state")
+	}
+}
+
+func TestTimelineHandlerServesIncrementalSamples(t *testing.T) {
+	_, tl, c, _, _ := timelineFixture(8)
+	for round := 0; round < 3; round++ {
+		c.Inc()
+		tl.Sample(round, float64(round))
+	}
+	h := TimelineHandler(tl)
+
+	get := func(url string) *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest("GET", url, nil))
+		return w
+	}
+
+	w := get("/v1/timeline")
+	if w.Code != 200 {
+		t.Fatalf("status = %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var resp TimelineResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Schema != timelineSchema || resp.Latest != 2 || len(resp.Samples) != 3 {
+		t.Fatalf("resp = %+v", resp)
+	}
+
+	if err := json.Unmarshal(get("/v1/timeline?since=1").Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Samples) != 1 || resp.Samples[0].Round != 2 {
+		t.Fatalf("since=1 resp = %+v", resp)
+	}
+
+	// Caught-up poll: empty but non-null samples array.
+	if err := json.Unmarshal(get("/v1/timeline?since=2").Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Samples == nil || len(resp.Samples) != 0 {
+		t.Fatalf("caught-up resp = %+v", resp)
+	}
+
+	if w := get("/v1/timeline?since=abc"); w.Code != 400 {
+		t.Fatalf("bad since status = %d", w.Code)
+	} else if !strings.Contains(w.Body.String(), "error") {
+		t.Fatalf("bad since body = %q", w.Body.String())
+	}
+
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("POST", "/v1/timeline", nil))
+	if w.Code != 405 {
+		t.Fatalf("POST status = %d", w.Code)
+	}
+}
+
+func TestMetricsFormatNegotiation(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("m_total").Inc()
+	h := MetricsHandler(reg)
+
+	do := func(url, accept string) *httptest.ResponseRecorder {
+		r := httptest.NewRequest("GET", url, nil)
+		if accept != "" {
+			r.Header.Set("Accept", accept)
+		}
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, r)
+		return w
+	}
+
+	if w := do("/v1/metrics", ""); w.Header().Get("Content-Type") != "text/plain; charset=utf-8" {
+		t.Fatalf("default Content-Type = %q", w.Header().Get("Content-Type"))
+	} else if !strings.Contains(w.Body.String(), "m_total 1") {
+		t.Fatalf("text body = %q", w.Body.String())
+	}
+
+	for _, req := range []struct{ url, accept string }{
+		{"/v1/metrics?format=json", ""},
+		{"/v1/metrics", "application/json"},
+		{"/v1/metrics", "text/html, application/json;q=0.9"},
+	} {
+		w := do(req.url, req.accept)
+		if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("%+v: Content-Type = %q", req, ct)
+		}
+		var snap Snapshot
+		if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+			t.Fatalf("%+v: %v", req, err)
+		}
+		if len(snap.Counters) != 1 || snap.Counters[0].Value != 1 {
+			t.Fatalf("%+v: snapshot = %+v", req, snap)
+		}
+	}
+
+	// ?format= beats the Accept header.
+	if w := do("/v1/metrics?format=text", "application/json"); !strings.HasPrefix(w.Header().Get("Content-Type"), "text/plain") {
+		t.Fatalf("format=text Content-Type = %q", w.Header().Get("Content-Type"))
+	}
+
+	// Unknown format values get a 400 with a typed JSON body.
+	w := do("/v1/metrics?format=xml", "")
+	if w.Code != 400 {
+		t.Fatalf("format=xml status = %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("error Content-Type = %q", ct)
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(w.Body.Bytes(), &eb); err != nil || eb.Error == "" {
+		t.Fatalf("error body = %q (%v)", w.Body.String(), err)
+	}
+}

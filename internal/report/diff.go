@@ -1,0 +1,197 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"floatfl/internal/obs"
+)
+
+// TimelineRun is a timeline JSONL export reconstructed into absolute
+// per-round series values: the delta encoding is carried forward so every
+// retained round has the full value map, which makes two runs directly
+// comparable round by round.
+type TimelineRun struct {
+	Header obs.TimelineHeader
+	// Rounds lists the retained rounds in export order (strictly
+	// increasing by construction).
+	Rounds []int
+	// Clock maps round → simulated/serving clock at that sample.
+	Clock map[int]float64
+	// ByRound maps round → absolute value of every series known at that
+	// round.
+	ByRound map[int]map[string]float64
+}
+
+// LoadTimelineRun parses a timeline export (obs.Timeline.WriteJSONL) and
+// resolves the delta encoding into absolute per-round tables.
+func LoadTimelineRun(r io.Reader) (*TimelineRun, error) {
+	hdr, samples, err := obs.ReadTimeline(r)
+	if err != nil {
+		return nil, err
+	}
+	run := &TimelineRun{
+		Header:  hdr,
+		Clock:   make(map[int]float64, len(samples)),
+		ByRound: make(map[int]map[string]float64, len(samples)),
+	}
+	cur := make(map[string]float64)
+	for _, s := range samples {
+		for k, v := range s.Values {
+			cur[k] = v
+		}
+		row := make(map[string]float64, len(cur))
+		for k, v := range cur {
+			row[k] = v
+		}
+		run.Rounds = append(run.Rounds, s.Round)
+		run.Clock[s.Round] = s.Clock
+		run.ByRound[s.Round] = row
+	}
+	return run, nil
+}
+
+// SeriesDiff reports the first round at which one series disagrees
+// between two runs.
+type SeriesDiff struct {
+	Name  string
+	Round int
+	// A and B are the absolute values at Round; HasA/HasB are false when
+	// the series does not exist in that run at that round (presence
+	// itself is the divergence).
+	A, B       float64
+	HasA, HasB bool
+}
+
+// Delta returns B-A when both sides are present, 0 otherwise.
+func (d SeriesDiff) Delta() float64 {
+	if d.HasA && d.HasB {
+		return d.B - d.A
+	}
+	return 0
+}
+
+// TimelineDiff is the comparison of two timeline exports.
+type TimelineDiff struct {
+	RoundsA, RoundsB int
+	// RoundMismatch is set when the retained round sequences themselves
+	// differ (different lengths or values) — the runs cannot be fully
+	// aligned; the common prefix is still compared.
+	RoundMismatch bool
+	// Series holds one entry per divergent series, sorted by name.
+	Series []SeriesDiff
+}
+
+// Identical reports whether the two exports describe the same run.
+func (d *TimelineDiff) Identical() bool {
+	return !d.RoundMismatch && len(d.Series) == 0
+}
+
+// FirstDivergentRound returns the earliest round at which any series
+// diverges, or -1 when the runs are identical round-for-round.
+func (d *TimelineDiff) FirstDivergentRound() int {
+	first := -1
+	for _, s := range d.Series {
+		if first == -1 || s.Round < first {
+			first = s.Round
+		}
+	}
+	return first
+}
+
+// DiffTimelines aligns two reconstructed runs round by round and returns
+// the first divergence per series. The clock is compared as the
+// pseudo-series "(clock)".
+func DiffTimelines(a, b *TimelineRun) *TimelineDiff {
+	d := &TimelineDiff{RoundsA: len(a.Rounds), RoundsB: len(b.Rounds)}
+	common := len(a.Rounds)
+	if len(b.Rounds) < common {
+		common = len(b.Rounds)
+	}
+	for i := 0; i < common; i++ {
+		if a.Rounds[i] != b.Rounds[i] {
+			d.RoundMismatch = true
+			common = i
+			break
+		}
+	}
+	if len(a.Rounds) != len(b.Rounds) {
+		d.RoundMismatch = true
+	}
+
+	// Union of series names across every compared round, sorted so the
+	// report (and the walk below) is deterministic.
+	nameSet := make(map[string]bool)
+	for i := 0; i < common; i++ {
+		for k := range a.ByRound[a.Rounds[i]] {
+			nameSet[k] = true
+		}
+		for k := range b.ByRound[b.Rounds[i]] {
+			nameSet[k] = true
+		}
+	}
+	names := make([]string, 0, len(nameSet))
+	for k := range nameSet {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+
+	for i := 0; i < common; i++ {
+		round := a.Rounds[i]
+		if a.Clock[round] != b.Clock[round] {
+			d.Series = append(d.Series, SeriesDiff{
+				Name: "(clock)", Round: round,
+				A: a.Clock[round], B: b.Clock[round], HasA: true, HasB: true,
+			})
+			break
+		}
+	}
+	for _, name := range names {
+		for i := 0; i < common; i++ {
+			round := a.Rounds[i]
+			va, oka := a.ByRound[round][name]
+			vb, okb := b.ByRound[round][name]
+			if oka != okb || va != vb {
+				d.Series = append(d.Series, SeriesDiff{
+					Name: name, Round: round,
+					A: va, B: vb, HasA: oka, HasB: okb,
+				})
+				break
+			}
+		}
+	}
+	sort.Slice(d.Series, func(i, j int) bool { return d.Series[i].Name < d.Series[j].Name })
+	return d
+}
+
+// Fprint renders the diff. labelA/labelB identify the two inputs (file
+// names in the CLI).
+func (d *TimelineDiff) Fprint(w io.Writer, labelA, labelB string) {
+	fmt.Fprintf(w, "timeline diff: A=%s (%d rounds)  B=%s (%d rounds)\n",
+		labelA, d.RoundsA, labelB, d.RoundsB)
+	if d.Identical() {
+		fmt.Fprintln(w, "  identical")
+		return
+	}
+	if d.RoundMismatch {
+		fmt.Fprintln(w, "  retained round sequences differ; comparing common prefix")
+	}
+	if first := d.FirstDivergentRound(); first >= 0 {
+		fmt.Fprintf(w, "  first divergent round: %d\n", first)
+	}
+	if len(d.Series) > 0 {
+		fmt.Fprintf(w, "  %-40s %8s %14s %14s %14s\n", "series", "round", "A", "B", "delta")
+		for _, s := range d.Series {
+			av, bv := fmtSeriesVal(s.A, s.HasA), fmtSeriesVal(s.B, s.HasB)
+			fmt.Fprintf(w, "  %-40s %8d %14s %14s %14.6g\n", s.Name, s.Round, av, bv, s.Delta())
+		}
+	}
+}
+
+func fmtSeriesVal(v float64, ok bool) string {
+	if !ok {
+		return "-"
+	}
+	return fmt.Sprintf("%.6g", v)
+}

@@ -1,0 +1,160 @@
+package report
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+
+	"floatfl/internal/obs"
+)
+
+// exportTimeline samples a scripted sequence of registry states into a
+// fresh timeline and returns its JSONL export.
+func exportTimeline(t *testing.T, rounds []map[string]float64) string {
+	t.Helper()
+	tl := obs.NewTimeline(nil, 16)
+	for round, values := range rounds {
+		extra := make([]obs.SeriesValue, 0, len(values))
+		// Deterministic order not required for correctness (Sample builds a
+		// map), but keep the fixture simple: one series per entry.
+		for _, name := range sortedKeys(values) {
+			extra = append(extra, obs.SeriesValue{Name: name, Value: values[name]})
+		}
+		tl.Sample(round, float64(round), extra...)
+	}
+	var buf bytes.Buffer
+	if err := tl.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func TestLoadTimelineRunCarriesDeltasForward(t *testing.T) {
+	export := exportTimeline(t, []map[string]float64{
+		{"acc": 0.1, "sel": 4},
+		{"acc": 0.2, "sel": 4}, // sel unchanged → delta omits it
+		{"acc": 0.3, "sel": 5},
+	})
+	run, err := LoadTimelineRun(strings.NewReader(export))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Rounds) != 3 {
+		t.Fatalf("rounds = %v", run.Rounds)
+	}
+	// Round 1's absolute table must carry sel=4 forward even though the
+	// delta-encoded sample omitted it.
+	if got := run.ByRound[1]["sel"]; got != 4 {
+		t.Fatalf("round 1 sel = %v, want 4 (carried forward)", got)
+	}
+	if got := run.ByRound[2]["sel"]; got != 5 {
+		t.Fatalf("round 2 sel = %v, want 5", got)
+	}
+}
+
+func TestDiffTimelinesIdentical(t *testing.T) {
+	rounds := []map[string]float64{
+		{"acc": 0.1, "sel": 4},
+		{"acc": 0.2, "sel": 4},
+	}
+	a, err := LoadTimelineRun(strings.NewReader(exportTimeline(t, rounds)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadTimelineRun(strings.NewReader(exportTimeline(t, rounds)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := DiffTimelines(a, b)
+	if !d.Identical() {
+		t.Fatalf("want identical, got %+v", d)
+	}
+	if d.FirstDivergentRound() != -1 {
+		t.Fatalf("first divergent round = %d, want -1", d.FirstDivergentRound())
+	}
+	var out bytes.Buffer
+	d.Fprint(&out, "a", "b")
+	if !strings.Contains(out.String(), "identical") {
+		t.Fatalf("render = %q", out.String())
+	}
+}
+
+func TestDiffTimelinesReportsFirstDivergentRoundPerSeries(t *testing.T) {
+	a, err := LoadTimelineRun(strings.NewReader(exportTimeline(t, []map[string]float64{
+		{"acc": 0.1, "sel": 4},
+		{"acc": 0.2, "sel": 4},
+		{"acc": 0.3, "sel": 4},
+	})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadTimelineRun(strings.NewReader(exportTimeline(t, []map[string]float64{
+		{"acc": 0.1, "sel": 4},
+		{"acc": 0.25, "sel": 4}, // acc diverges at round 1
+		{"acc": 0.35, "sel": 6}, // sel diverges at round 2
+	})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := DiffTimelines(a, b)
+	if d.Identical() {
+		t.Fatal("want divergence")
+	}
+	if got := d.FirstDivergentRound(); got != 1 {
+		t.Fatalf("first divergent round = %d, want 1", got)
+	}
+	byName := map[string]SeriesDiff{}
+	for _, s := range d.Series {
+		byName[s.Name] = s
+	}
+	if s := byName["acc"]; s.Round != 1 || s.A != 0.2 || s.B != 0.25 {
+		t.Fatalf("acc diff = %+v", s)
+	}
+	if s := byName["sel"]; s.Round != 2 || s.A != 4 || s.B != 6 {
+		t.Fatalf("sel diff = %+v", s)
+	}
+	var out bytes.Buffer
+	d.Fprint(&out, "a", "b")
+	if !strings.Contains(out.String(), "first divergent round: 1") {
+		t.Fatalf("render = %q", out.String())
+	}
+}
+
+func TestDiffTimelinesSeriesPresenceAndLengthMismatch(t *testing.T) {
+	a, err := LoadTimelineRun(strings.NewReader(exportTimeline(t, []map[string]float64{
+		{"acc": 0.1, "only_a": 1},
+		{"acc": 0.2, "only_a": 1},
+	})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadTimelineRun(strings.NewReader(exportTimeline(t, []map[string]float64{
+		{"acc": 0.1},
+	})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := DiffTimelines(a, b)
+	if !d.RoundMismatch {
+		t.Fatal("want RoundMismatch for different lengths")
+	}
+	found := false
+	for _, s := range d.Series {
+		if s.Name == "only_a" && s.HasA && !s.HasB && s.Round == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing presence divergence for only_a: %+v", d.Series)
+	}
+}

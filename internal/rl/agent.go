@@ -449,6 +449,22 @@ func (a *Agent) ActionSummary() []ActionStats {
 	return out
 }
 
+// ActionVisits returns the total visit count per action (indexed like
+// Actions) summed over every visited state — the agent's lifetime action
+// distribution, the quantity a run timeline samples to show when the
+// policy shifted. Integer sums are exact and commutative, so plain map
+// iteration cannot make the result order-dependent. The counts are pure
+// projections of the Q-table; no extra mutable state backs them.
+func (a *Agent) ActionVisits() []int {
+	out := make([]int, len(a.actions))
+	for _, cs := range a.table {
+		for i, c := range cs {
+			out[i] += c.Visits
+		}
+	}
+	return out
+}
+
 // PolicyEntry is one row of a greedy-policy dump.
 type PolicyEntry struct {
 	State  State
